@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Render-performance benchmark: the equivalence-class cache vs the
+honest per-item baseline, on the same 100-user x 30-iteration x 3-vector
+workload (9000 grid items).
+
+Writes benchmarks/BENCH_render.json with renders/sec, cache hit rate and
+end-to-end wall times, and asserts this PR's acceptance floor
+(>= 95% hit rate, >= 10x speedup) so later PRs have a perf trajectory
+to beat. Both runs use the same worker configuration, and the datasets
+are asserted bit-identical — the cache changes cost, never results.
+
+Usage: PYTHONPATH=src python benchmarks/bench_render_perf.py [--users N]
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro import RenderCache, run_study  # noqa: E402
+from repro.webaudio import ENGINE_VERSION  # noqa: E402
+
+VECTORS = ("dc", "fft", "hybrid")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--users", type=int, default=100)
+    parser.add_argument("--iterations", type=int, default=30)
+    parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size (default: auto)")
+    parser.add_argument("--out", default=os.path.join(_HERE, "BENCH_render.json"))
+    args = parser.parse_args()
+
+    grid_items = args.users * args.iterations * len(VECTORS)
+    common = dict(user_count=args.users, iterations=args.iterations,
+                  vectors=VECTORS, seed=args.seed, workers=args.workers)
+
+    print(f"workload: {args.users} users x {args.iterations} iterations "
+          f"x {len(VECTORS)} vectors = {grid_items} grid items")
+
+    cache = RenderCache()
+    t0 = time.perf_counter()
+    cached_dataset = run_study(cache=cache, **common)
+    cached_wall = time.perf_counter() - t0
+    stats = cache.stats()
+    distinct_classes = stats["entries"]
+    print(f"cached run:   {cached_wall:8.2f}s  "
+          f"({distinct_classes} classes rendered, "
+          f"hit rate {stats['hit_rate']:.4f})")
+
+    baseline = RenderCache(disabled=True)
+    t0 = time.perf_counter()
+    baseline_dataset = run_study(cache=baseline, **common)
+    baseline_wall = time.perf_counter() - t0
+    print(f"baseline run: {baseline_wall:8.2f}s  ({grid_items} renders)")
+
+    if cached_dataset != baseline_dataset:
+        print("FATAL: cached dataset differs from baseline dataset")
+        return 1
+
+    speedup = baseline_wall / cached_wall
+    result = {
+        "benchmark": "bench_render_perf",
+        "engine_version": ENGINE_VERSION,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "workload": {
+            "users": args.users,
+            "iterations": args.iterations,
+            "vectors": list(VECTORS),
+            "grid_items": grid_items,
+        },
+        "cached": {
+            "wall_s": round(cached_wall, 4),
+            "distinct_classes": distinct_classes,
+            "hit_rate": round(stats["hit_rate"], 6),
+            "renders_performed": distinct_classes,
+            "grid_items_per_s": round(grid_items / cached_wall, 2),
+        },
+        "baseline": {
+            "wall_s": round(baseline_wall, 4),
+            "renders_performed": grid_items,
+            "renders_per_s": round(grid_items / baseline_wall, 2),
+        },
+        "speedup": round(speedup, 2),
+        "datasets_bit_identical": True,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    print(f"speedup: {speedup:.1f}x  ->  {args.out}")
+
+    failures = []
+    if stats["hit_rate"] < 0.95:
+        failures.append(f"hit rate {stats['hit_rate']:.4f} < 0.95")
+    if speedup < 10.0:
+        failures.append(f"speedup {speedup:.1f}x < 10x")
+    if failures:
+        print("ACCEPTANCE FAILED: " + "; ".join(failures))
+        return 1
+    print("acceptance: hit rate >= 0.95 and speedup >= 10x  [ok]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

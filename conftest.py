@@ -1,0 +1,11 @@
+"""Make `src/` importable when pytest is run from the repo root.
+
+The tier-1 command already sets PYTHONPATH=src; this keeps a bare
+`python -m pytest` working too (and keeps forked pool workers happy).
+"""
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,17 @@
+"""repro — reproduction of "Your Speaker or My Snooper?" (IMC 2022).
+
+Top-level convenience surface; the layers live in:
+
+  repro.webaudio    the offline Web Audio rendering engine
+  repro.platform    platform stacks, math/FFT variants, jitter model
+  repro.vectors     fingerprinting vectors (pure render functions)
+  repro.population  sampler, equivalence-class render cache, study runner
+"""
+
+from .population import RenderCache, StudyDataset, run_study  # noqa: F401
+from .webaudio import OfflineAudioContext  # noqa: F401
+
+__version__ = "0.1.0"
+
+__all__ = ["run_study", "RenderCache", "StudyDataset", "OfflineAudioContext",
+           "__version__"]

@@ -1,0 +1,68 @@
+"""Math-library variants: ulp-level perturbed transcendentals.
+
+Real platforms differ in the last bits of sin/exp/pow/tanh (different libm
+builds, SIMD paths, polynomial orders). We model a build as a deterministic
+ulp shift applied to the reference result: multiplying by (1 + k*2^-52)
+moves the significand by ~k ulps, which after the compressor's
+nonlinearity is exactly the kind of divergence that separates real
+browser fingerprints. Vectorized; applies to whole blocks.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_ULP = 2.0 ** -52
+
+
+@dataclass(frozen=True)
+class MathBackend:
+    name: str
+    ulp_shift: int = 0
+
+    def _perturb(self, y):
+        if self.ulp_shift == 0:
+            return y
+        return y * (1.0 + self.ulp_shift * _ULP)
+
+    def sin(self, x):
+        return self._perturb(np.sin(x))
+
+    def cos(self, x):
+        return self._perturb(np.cos(x))
+
+    def exp(self, x):
+        return self._perturb(np.exp(x))
+
+    def log10(self, x):
+        return self._perturb(np.log10(x))
+
+    def pow(self, x, y):
+        return self._perturb(np.power(x, y))
+
+    def tanh(self, x):
+        return self._perturb(np.tanh(x))
+
+
+#: Named builds, one per (OS, toolchain) family the population model uses.
+MATH_BACKENDS = {
+    backend.name: backend
+    for backend in (
+        MathBackend("ucrt", 0),          # Windows universal CRT (reference)
+        MathBackend("glibc", 1),         # Linux glibc 2.3x
+        MathBackend("glibc-avx2", 2),    # glibc with vectorized SIMD path
+        MathBackend("apple-libm", -2),   # macOS system libm
+        MathBackend("bionic", 3),        # Android bionic
+        MathBackend("musl", 5),          # musl-based builds
+        MathBackend("ucrt-sse2", 4),     # older Windows SSE2 path
+        MathBackend("fdlibm", -4),       # Firefox's fdlibm-derived fallback
+    )
+}
+
+
+def get_math_backend(name: str) -> MathBackend:
+    try:
+        return MATH_BACKENDS[name]
+    except KeyError:
+        raise KeyError(f"unknown math backend {name!r}; have {sorted(MATH_BACKENDS)}") from None

@@ -1,0 +1,9 @@
+"""repro.population — the synthetic user study."""
+
+from .device import Device  # noqa: F401
+from .sampler import sample_population  # noqa: F401
+from .cache import RenderCache  # noqa: F401
+from .dataset import StudyDataset  # noqa: F401
+from .study import run_study  # noqa: F401
+
+__all__ = ["Device", "sample_population", "RenderCache", "StudyDataset", "run_study"]

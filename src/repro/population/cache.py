@@ -1,0 +1,112 @@
+"""RenderCache: the equivalence-class render cache.
+
+Keys are ``vector|stack.cache_key()|jitter_path`` — the complete identity
+of a render's numeric output (ENGINE_VERSION rides inside the stack key,
+so any DSP change invalidates everything at once). Values are eFP digest
+strings, so the cache is tiny even at paper scale: the 2093x30x7 study
+needs only a few hundred entries.
+
+In-memory it is an LRU (OrderedDict move-to-end); optionally it persists
+to a JSON file under ``benchmarks/.cache/`` so repeated benchmark runs
+skip even the first render of each class.
+"""
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+
+
+class RenderCache:
+    def __init__(self, capacity: int = 100_000, disk_path: str | None = None,
+                 disabled: bool = False):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.disk_path = disk_path
+        self.disabled = disabled
+        self.hits = 0
+        self.misses = 0
+        self._store: OrderedDict[str, str] = OrderedDict()
+        if disk_path and not disabled:
+            self._load_disk()
+
+    @staticmethod
+    def make_key(vector_name: str, stack_key: str, jitter_path: str) -> str:
+        return f"{vector_name}|{stack_key}|{jitter_path}"
+
+    # -- core ---------------------------------------------------------------
+    def get(self, key: str) -> str | None:
+        if self.disabled:
+            self.misses += 1
+            return None
+        value = self._store.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: str) -> None:
+        if self.disabled:
+            return
+        self._store[key] = value
+        self._store.move_to_end(key)
+        while len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: str) -> bool:
+        return not self.disabled and key in self._store
+
+    # -- stats --------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "entries": len(self._store),
+            "capacity": self.capacity,
+            "disabled": self.disabled,
+        }
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    # -- disk persistence ---------------------------------------------------
+    def _load_disk(self) -> None:
+        try:
+            with open(self.disk_path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return
+        for key, value in payload.get("entries", {}).items():
+            if isinstance(key, str) and isinstance(value, str):
+                self._store[key] = value
+
+    def persist(self) -> None:
+        """Atomically write the cache to disk (no-op without a disk path)."""
+        if not self.disk_path or self.disabled:
+            return
+        directory = os.path.dirname(self.disk_path) or "."
+        os.makedirs(directory, exist_ok=True)
+        payload = {"format": 1, "entries": dict(self._store)}
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, self.disk_path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise

@@ -1,0 +1,63 @@
+"""StudyDataset: the per-user, per-vector, per-iteration eFP series."""
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StudyDataset:
+    seed: int
+    user_count: int
+    iterations: int
+    vectors: tuple[str, ...]
+    users: list[dict] = field(default_factory=list)
+    #: series[vector][user_id] = [eFP per iteration]
+    series: dict[str, dict[str, list[str]]] = field(default_factory=dict)
+
+    # -- analysis helpers ---------------------------------------------------
+    def distinct_counts(self, vector: str) -> dict[str, int]:
+        """Per-user number of distinct eFPs (the Table 1 quantity)."""
+        return {uid: len(set(efps)) for uid, efps in self.series[vector].items()}
+
+    def stack_keys(self) -> list[str]:
+        return [u["stack_key"] for u in self.users]
+
+    # -- (de)serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "meta": {
+                "seed": self.seed,
+                "user_count": self.user_count,
+                "iterations": self.iterations,
+                "vectors": list(self.vectors),
+            },
+            "users": self.users,
+            "series": self.series,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StudyDataset":
+        meta = payload["meta"]
+        return cls(
+            seed=meta["seed"],
+            user_count=meta["user_count"],
+            iterations=meta["iterations"],
+            vectors=tuple(meta["vectors"]),
+            users=payload["users"],
+            series=payload["series"],
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh)
+
+    @classmethod
+    def load(cls, path: str) -> "StudyDataset":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, StudyDataset):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()

@@ -1,0 +1,24 @@
+"""Device: one sampled user's render-relevant state."""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..platform.stacks import AudioStack
+
+
+@dataclass(frozen=True)
+class Device:
+    user_id: str
+    stack: AudioStack
+    os: str
+    browser: str
+    load: float  # per-user CPU load level in [0, 1), drives fickleness
+
+    def describe(self) -> dict:
+        return {
+            "id": self.user_id,
+            "stack_key": self.stack.cache_key(),
+            "os": self.os,
+            "browser": self.browser,
+            "load": round(self.load, 6),
+        }

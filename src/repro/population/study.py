@@ -1,0 +1,132 @@
+"""run_study: the deduplicating, cache-backed study driver.
+
+The paper's headline workload is 2093 users x 30 iterations x 7 vectors
+(~440k renders). Because every eFP is a pure function of (vector, stack,
+jitter path), the grid collapses to its distinct equivalence classes:
+
+  1. PLAN     — sample the population, then deterministically pre-draw every
+                iteration's jitter path (cheap, no DSP), producing the full
+                item grid plus the set of distinct class keys.
+  2. RENDER   — probe the cache once per class; fan the misses out over a
+                ProcessPoolExecutor (pure functions -> order-independent,
+                bit-identical to serial), then fill the cache.
+  3. ASSEMBLE — build the per-user series by cache lookup only.
+
+With the cache disabled the driver degrades to the honest baseline: one
+real render per grid item. ``bench_render_perf.py`` measures the gap.
+"""
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from ..platform.jitter import sample_path, sample_repertoire
+from ..platform.stacks import AudioStack
+from ..vectors.registry import get_vector
+from .cache import RenderCache
+from .dataset import StudyDataset
+from .device import Device
+from .sampler import sample_population
+
+_STUDY_STREAM = 0x57D  # per-user jitter streams, disjoint from the sampler's
+_POOL_THRESHOLD = 24   # below this many misses, process-pool overhead loses
+
+
+def _user_rng(seed: int, user_index: int) -> np.random.Generator:
+    return np.random.default_rng(np.random.SeedSequence([seed, _STUDY_STREAM, user_index]))
+
+
+def _render_class(job: tuple[str, str, AudioStack, str]) -> tuple[str, str]:
+    """Pool worker: render one equivalence class. Top-level for pickling."""
+    key, vector_name, stack, path = job
+    return key, get_vector(vector_name).render(stack, path)
+
+
+def _plan(devices: list[Device], vectors: tuple[str, ...], iterations: int,
+          seed: int):
+    """Pre-draw all jitter paths; return per-item keys and the class table.
+
+    Analyser-free vectors draw nothing from the rng, so adding/removing
+    them never shifts another vector's jitter stream.
+    """
+    item_keys: dict[tuple[str, str], list[str]] = {}   # (vector, user_id) -> keys
+    classes: dict[str, tuple[str, AudioStack, str]] = {}
+    for index, device in enumerate(devices):
+        rng = _user_rng(seed, index)
+        stack_key = device.stack.cache_key()
+        repertoire = sample_repertoire(rng, device.load)
+        for vector_name in vectors:
+            vector = get_vector(vector_name)
+            keys = []
+            for _ in range(iterations):
+                if vector.uses_analyser:
+                    path = sample_path(rng, device.load, repertoire)
+                else:
+                    path = vector.canonical_path(None)
+                key = RenderCache.make_key(vector_name, stack_key, path)
+                keys.append(key)
+                if key not in classes:
+                    classes[key] = (vector_name, device.stack, path)
+            item_keys[(vector_name, device.user_id)] = keys
+    return item_keys, classes
+
+
+def _render_jobs(jobs, workers: int):
+    """Render (key, vector, stack, path) jobs, pooled when it pays off."""
+    if workers and workers > 1 and len(jobs) >= _POOL_THRESHOLD:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            chunk = max(1, len(jobs) // (workers * 4))
+            yield from pool.map(_render_class, jobs, chunksize=chunk)
+    else:
+        for job in jobs:
+            yield _render_class(job)
+
+
+def run_study(user_count: int, iterations: int = 30,
+              vectors: tuple[str, ...] = ("dc", "fft", "hybrid"),
+              seed: int = 2021, cache: RenderCache | None = None,
+              workers: int | None = None) -> StudyDataset:
+    """Run the synthetic study and return its dataset.
+
+    ``workers``: None = auto (cpu count, capped at 8), 0 = render inline.
+    Results are bit-identical regardless of worker count or cache state.
+    """
+    for name in vectors:
+        get_vector(name)  # fail fast on unknown vectors
+    if cache is None:
+        cache = RenderCache()
+    devices = sample_population(user_count, seed)
+    item_keys, classes = _plan(devices, tuple(vectors), iterations, seed)
+
+    if workers is None:
+        workers = min(os.cpu_count() or 1, 8)
+
+    if cache.disabled:
+        # honest baseline: one real render per grid item, same pool config
+        # as the cached path so benchmark speedups isolate the cache
+        jobs = [(key, *classes[key])
+                for keys in item_keys.values() for key in keys]
+        cache.misses += len(jobs)
+        rendered = dict(_render_jobs(jobs, workers))
+        lookup = rendered.__getitem__
+    else:
+        missing = [key for key in classes if cache.get(key) is None]
+        jobs = [(key, *classes[key]) for key in missing]
+        for key, efp in _render_jobs(jobs, workers):
+            cache.put(key, efp)
+        lookup = cache.get
+
+    dataset = StudyDataset(
+        seed=seed,
+        user_count=user_count,
+        iterations=iterations,
+        vectors=tuple(vectors),
+        users=[d.describe() for d in devices],
+    )
+    for vector_name in vectors:
+        dataset.series[vector_name] = {}
+    for (vector_name, user_id), keys in item_keys.items():
+        dataset.series[vector_name][user_id] = [lookup(key) for key in keys]
+    return dataset

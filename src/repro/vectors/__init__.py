@@ -1,0 +1,12 @@
+"""repro.vectors — fingerprinting vectors.
+
+Every audio vector is a *pure function* ``render(stack, jitter_path) ->
+eFP`` (an md5 hex digest, the paper's elementary fingerprint). Purity is
+load-bearing: it is what lets the study runner collapse 440k renders into
+a few hundred equivalence classes.
+"""
+
+from .base import AudioVector, digest  # noqa: F401
+from .registry import VECTORS, get_vector  # noqa: F401
+
+__all__ = ["AudioVector", "digest", "VECTORS", "get_vector"]

@@ -1,0 +1,51 @@
+"""Vector API shared by all fingerprinting vectors."""
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..platform.jitter import REFERENCE_PATH, parse_path, sample_path
+
+#: frames rendered by every audio vector (the classic 1ch/5000/44.1k probe
+#: uses a 5000-frame buffer; we keep that shape across sample rates)
+RENDER_LENGTH = 5000
+
+
+def digest(payload) -> str:
+    """eFP digest: md5 over the exact bytes of the rendered features."""
+    if isinstance(payload, np.ndarray):
+        data = np.ascontiguousarray(payload, dtype=np.float64).tobytes()
+    elif isinstance(payload, str):
+        data = payload.encode("utf-8")
+    else:
+        data = repr(payload).encode("utf-8")
+    return hashlib.md5(data).hexdigest()
+
+
+class AudioVector:
+    """Base class. Subclasses implement ``_features(stack, jitter_path)``."""
+
+    name = "abstract"
+    #: vectors that never touch the AnalyserNode ignore the jitter path
+    uses_analyser = True
+
+    def render(self, stack, jitter_path: str | None = None) -> str:
+        """Pure render: same (stack, path) -> bit-identical eFP, always."""
+        path = self.canonical_path(jitter_path)
+        jitter = parse_path(path) if self.uses_analyser else None
+        return digest(self._features(stack, jitter))
+
+    def canonical_path(self, jitter_path: str | None) -> str:
+        """The path component of this vector's cache key."""
+        if not self.uses_analyser:
+            return "-"
+        return jitter_path if jitter_path is not None else REFERENCE_PATH
+
+    def collect(self, stack, rng: np.random.Generator, load: float = 0.0) -> str:
+        """One observation: sample this iteration's jitter path, render."""
+        path = sample_path(rng, load) if self.uses_analyser else "-"
+        return self.render(stack, path)
+
+    def _features(self, stack, jitter):  # pragma: no cover
+        raise NotImplementedError

@@ -1,0 +1,31 @@
+"""DC vector (paper Fig. 1): oscillator -> dynamics compressor -> sum.
+
+The classic fingerprintjs probe: a 10 kHz triangle wave through the
+compressor, fingerprint = sum of |samples| 4500..5000 of the rendered
+buffer. Never touches the analyser, so it is bit-stable under load —
+Table 1's only perfectly stable vector.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ..webaudio import OfflineAudioContext
+from .base import AudioVector, RENDER_LENGTH
+
+
+class DCVector(AudioVector):
+    name = "dc"
+    uses_analyser = False
+
+    def _features(self, stack, jitter):
+        context = OfflineAudioContext(1, RENDER_LENGTH, stack.sample_rate,
+                                      config=stack.realize())
+        oscillator = context.create_oscillator()
+        oscillator.type = "triangle"
+        oscillator.frequency.value = 10000.0
+        compressor = context.create_dynamics_compressor()
+        oscillator.connect(compressor).connect(context.destination)
+        oscillator.start(0.0)
+        buffer = context.start_rendering()
+        total = np.sum(np.abs(buffer.get_channel_data(0)[4500:5000]))
+        return f"{total:.17g}"

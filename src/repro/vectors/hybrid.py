@@ -1,0 +1,30 @@
+"""Hybrid vector (paper Fig. 2 variant): oscillator -> compressor ->
+analyser. Combines the DC probe's nonlinearity with the FFT readout, so
+it inherits both the compressor's stack sensitivity and the analyser's
+load fickleness.
+"""
+from __future__ import annotations
+
+from ..webaudio import OfflineAudioContext
+from .base import AudioVector, RENDER_LENGTH
+
+
+class HybridVector(AudioVector):
+    name = "hybrid"
+    uses_analyser = True
+
+    def _features(self, stack, jitter):
+        context = OfflineAudioContext(1, RENDER_LENGTH, stack.sample_rate,
+                                      config=stack.realize(jitter))
+        oscillator = context.create_oscillator()
+        oscillator.type = "triangle"
+        oscillator.frequency.value = 10000.0
+        compressor = context.create_dynamics_compressor()
+        analyser = context.create_analyser()
+        sink = context.create_gain()
+        sink.gain.value = 0.0
+        oscillator.connect(compressor).connect(analyser).connect(sink) \
+            .connect(context.destination)
+        oscillator.start(0.0)
+        context.start_rendering()
+        return analyser.get_float_frequency_data()

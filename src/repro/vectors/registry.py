@@ -1,0 +1,15 @@
+"""Vector registry: names <-> vector objects."""
+from __future__ import annotations
+
+from .dc import DCVector
+from .fft_vector import FFTVector
+from .hybrid import HybridVector
+
+VECTORS = {v.name: v for v in (DCVector(), FFTVector(), HybridVector())}
+
+
+def get_vector(name: str):
+    try:
+        return VECTORS[name]
+    except KeyError:
+        raise KeyError(f"unknown vector {name!r}; have {sorted(VECTORS)}") from None

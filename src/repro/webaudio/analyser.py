@@ -1,0 +1,88 @@
+"""AnalyserNode: Blackman window + pluggable FFT + dB conversion.
+
+This is the node the paper's fickleness phenomenology lives in: the
+windowed frames pass through the engine config's jitter transform
+(denormal-flush / fused-multiply / float32-precision sub-paths) and the
+readout window can be shifted by a load-dependent timing bucket — so the
+same stack produces different frequency data under different load states,
+while the DC vector (which never touches the analyser) stays bit-stable.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from .node import AudioNode, mix_to_channels
+
+_VALID_FFT_SIZES = {2 ** k for k in range(5, 16)}
+
+
+class AnalyserNode(AudioNode):
+    def __init__(self, context):
+        super().__init__(context)
+        self._fft_size = 2048
+        self.smoothing_time_constant = 0.8
+        self.min_decibels = -100.0
+        self.max_decibels = -30.0
+        self._history: list[np.ndarray] = []
+        self._history_len = 0
+        self._previous_smoothed: np.ndarray | None = None
+
+    @property
+    def fft_size(self) -> int:
+        return self._fft_size
+
+    @fft_size.setter
+    def fft_size(self, value: int) -> None:
+        if value not in _VALID_FFT_SIZES:
+            raise ValueError(f"fftSize must be a power of two in [32, 32768], got {value}")
+        self._fft_size = value
+
+    @property
+    def frequency_bin_count(self) -> int:
+        return self._fft_size // 2
+
+    def process_block(self, inputs, frame0, n):
+        block = inputs[0]
+        self._history.append(mix_to_channels(block, 1)[0].copy())
+        self._history_len += n
+        return block  # pass-through
+
+    # -- readout ------------------------------------------------------------
+    def _time_domain(self) -> np.ndarray:
+        size = self._fft_size
+        offset = int(self.context.config.readout_offset)
+        data = np.concatenate(self._history) if self._history else np.zeros(0)
+        end = max(0, data.shape[0] - offset)
+        start = end - size
+        if start < 0:
+            return np.concatenate([np.zeros(-start), data[:end]])
+        return data[start:end]
+
+    def get_float_time_domain_data(self) -> np.ndarray:
+        return self._time_domain()
+
+    def _blackman(self, math) -> np.ndarray:
+        n = np.arange(self._fft_size, dtype=np.float64)
+        phase = 2.0 * np.pi * n / self._fft_size
+        return 0.42 - 0.5 * math.cos(phase) + 0.08 * math.cos(2.0 * phase)
+
+    def get_float_frequency_data(self) -> np.ndarray:
+        cfg = self.context.config
+        math = cfg.math
+        frames = self._time_domain() * self._blackman(math)
+        if cfg.jitter_transform is not None:
+            frames = cfg.jitter_transform(frames)
+        spectrum = cfg.fft.fft(frames)[: self.frequency_bin_count]
+        magnitude = np.abs(spectrum) / self._fft_size
+
+        s = self.smoothing_time_constant
+        if self._previous_smoothed is not None and 0.0 < s < 1.0:
+            magnitude = s * self._previous_smoothed + (1.0 - s) * magnitude
+        self._previous_smoothed = magnitude
+
+        return 20.0 * math.log10(np.maximum(magnitude, 1e-40))
+
+    def get_byte_frequency_data(self) -> np.ndarray:
+        db = self.get_float_frequency_data()
+        scaled = 255.0 * (db - self.min_decibels) / (self.max_decibels - self.min_decibels)
+        return np.clip(scaled, 0, 255).astype(np.uint8)

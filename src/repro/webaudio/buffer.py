@@ -1,0 +1,26 @@
+"""AudioBuffer — the rendered result."""
+from __future__ import annotations
+
+import numpy as np
+
+
+class AudioBuffer:
+    def __init__(self, data: np.ndarray, sample_rate: float):
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        self._data = data
+        self.sample_rate = float(sample_rate)
+
+    @property
+    def number_of_channels(self) -> int:
+        return self._data.shape[0]
+
+    @property
+    def length(self) -> int:
+        return self._data.shape[1]
+
+    @property
+    def duration(self) -> float:
+        return self.length / self.sample_rate
+
+    def get_channel_data(self, channel: int) -> np.ndarray:
+        return self._data[channel]

@@ -1,0 +1,86 @@
+"""DynamicsCompressorNode: spec-style soft-knee curve with attack/release
+envelope smoothing — fully vectorized per 128-frame block.
+
+The envelope follower is the classic one-pole recursion
+``y[n] = a*y[n-1] + (1-a)*x[n]``. Per block we pick attack vs release from
+the block peak (one scalar comparison per *block*, never per sample) and
+evaluate the recursion in closed form:
+
+    y[n] = a^(n+1) * y0 + (1-a) * a^n * cumsum(x[k] / a^k)
+
+which is exact, branch-free and pure NumPy. The coefficients derived from
+the spec's attack/release times satisfy a >= 0.99 at audio sample rates, so
+``a^-127`` stays ~e and the scaled cumulative sum is numerically safe.
+
+All transcendental steps (exp for the coefficients, log10 for dB
+conversion, pow for the makeup gain) run through the platform stack's math
+backend — this node is the main nonlinearity that amplifies ulp-level
+library differences into distinct fingerprints (cf. SNIPPETS.md #1).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from .node import AudioNode, mix_to_channels
+
+_DB_FLOOR = 1e-12  # linear floor before dB conversion
+
+
+class DynamicsCompressorNode(AudioNode):
+    def __init__(self, context):
+        super().__init__(context)
+        p = context.config.compressor
+        self.threshold = p.threshold_db
+        self.knee = p.knee_db
+        self.ratio = p.ratio
+        self.attack = p.attack_s
+        self.release = p.release_s
+        self._makeup_exponent = p.makeup_exponent
+        self._envelope = 0.0
+        self.reduction = 0.0  # dB, most recent block (informational, like the spec attr)
+
+        math = context.config.math
+        fs = context.sample_rate
+        # one-pole coefficients; clamped so the closed-form scan stays stable
+        self._attack_coef = float(np.clip(math.exp(np.array(-1.0 / (fs * max(self.attack, 1e-4)))), 0.9, 0.999999))
+        self._release_coef = float(np.clip(math.exp(np.array(-1.0 / (fs * max(self.release, 1e-3)))), 0.9, 0.999999))
+        # makeup gain: (1 / gain-at-0dBFS) ** exponent, as in the spec
+        zero_gain_db = self._curve_db(np.array([0.0]), math)[0]
+        lin = math.pow(10.0, np.array(zero_gain_db / 20.0))
+        self._makeup = float(math.pow(1.0 / np.maximum(lin, _DB_FLOOR), np.array(self._makeup_exponent)))
+
+    # -- static compression curve (dB in -> dB out), vectorized -------------
+    def _curve_db(self, x_db: np.ndarray, math) -> np.ndarray:
+        t, k, r = self.threshold, self.knee, self.ratio
+        lo = t - k / 2.0
+        hi = t + k / 2.0
+        # below knee: identity; in knee: quadratic interpolation; above: ratio
+        knee_term = x_db - lo
+        in_knee = x_db + ((1.0 / r - 1.0) * knee_term * knee_term) / (2.0 * max(k, 1e-9))
+        above = t + (x_db - t) / r
+        return np.where(x_db < lo, x_db, np.where(x_db > hi, above, in_knee))
+
+    @staticmethod
+    def _one_pole_scan(x: np.ndarray, a: float, y0: float) -> np.ndarray:
+        """Closed-form y[n] = a*y[n-1] + (1-a)*x[n], whole block at once."""
+        n = x.shape[0]
+        k = np.arange(n, dtype=np.float64)
+        apow = a ** k
+        s = np.cumsum(x / apow)
+        return (a * apow) * y0 + (1.0 - a) * apow * s
+
+    def process_block(self, inputs, frame0, n):
+        x = inputs[0]
+        math = self.context.config.math
+
+        level = np.abs(mix_to_channels(x, 1)[0])
+        peak = float(level.max()) if n else 0.0
+        coef = self._attack_coef if peak > self._envelope else self._release_coef
+        env = self._one_pole_scan(level, coef, self._envelope)
+        self._envelope = float(env[-1])
+
+        env_db = 20.0 * math.log10(np.maximum(env, _DB_FLOOR))
+        gain_db = self._curve_db(env_db, math) - env_db
+        self.reduction = float(gain_db.min()) if n else 0.0
+        gain_lin = math.pow(10.0, gain_db / 20.0) * self._makeup
+        return x * gain_lin[None, :]

@@ -1,0 +1,82 @@
+"""OfflineAudioContext: the 128-frame-quantum block renderer."""
+from __future__ import annotations
+
+import numpy as np
+
+from . import RENDER_QUANTUM_FRAMES
+from .buffer import AudioBuffer
+from .config import EngineConfig
+from .graph import topological_order
+from .node import AudioNode, mix_sources, mix_to_channels
+
+
+class DestinationNode(AudioNode):
+    def __init__(self, context, number_of_channels: int):
+        self.channel_count = number_of_channels
+        super().__init__(context)
+
+    def process_block(self, inputs, frame0, n):
+        return mix_to_channels(inputs[0], self.channel_count)
+
+
+class OfflineAudioContext:
+    def __init__(self, number_of_channels: int, length: int, sample_rate: float,
+                 config: EngineConfig | None = None):
+        if length <= 0:
+            raise ValueError("length must be positive")
+        self.length = int(length)
+        self.sample_rate = float(sample_rate)
+        self.config = config if config is not None else EngineConfig.default()
+        self._nodes: list[AudioNode] = []
+        self._rendered: AudioBuffer | None = None
+        self.destination = DestinationNode(self, int(number_of_channels))
+
+    # -- node registry ------------------------------------------------------
+    def _register(self, node: AudioNode) -> None:
+        self._nodes.append(node)
+
+    def create_oscillator(self):
+        from .oscillator import OscillatorNode
+        return OscillatorNode(self)
+
+    def create_gain(self):
+        from .gain import GainNode
+        return GainNode(self)
+
+    def create_channel_merger(self, number_of_inputs: int = 6):
+        from .merger import ChannelMergerNode
+        return ChannelMergerNode(self, number_of_inputs)
+
+    def create_dynamics_compressor(self):
+        from .compressor import DynamicsCompressorNode
+        return DynamicsCompressorNode(self)
+
+    def create_analyser(self):
+        from .analyser import AnalyserNode
+        return AnalyserNode(self)
+
+    @property
+    def current_time(self) -> float:
+        return self.length / self.sample_rate if self._rendered else 0.0
+
+    # -- rendering ----------------------------------------------------------
+    def start_rendering(self) -> AudioBuffer:
+        if self._rendered is not None:
+            return self._rendered
+        order = topological_order(self._nodes)
+        channels = self.destination.channel_count
+        out = np.zeros((channels, self.length), dtype=np.float64)
+        quantum = RENDER_QUANTUM_FRAMES
+        block_out: dict[AudioNode, np.ndarray] = {}
+        for frame0 in range(0, self.length, quantum):
+            n = min(quantum, self.length - frame0)
+            block_out.clear()
+            for node in order:
+                ins = [
+                    mix_sources([block_out[s] for s in port], n)
+                    for port in node._inputs
+                ]
+                block_out[node] = node.process_block(ins, frame0, n)
+            out[:, frame0:frame0 + n] = block_out[self.destination][:, :n]
+        self._rendered = AudioBuffer(out, self.sample_rate)
+        return self._rendered

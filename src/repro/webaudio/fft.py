@@ -1,0 +1,164 @@
+"""From-scratch FFT backends, selectable per platform stack.
+
+Each backend computes the same DFT but through a different algorithm /
+floating-point evaluation order, so their outputs agree with
+``numpy.fft.fft`` only to within a backend-specific tolerance — exactly
+the ulp-level divergence between real browsers' FFT libraries that the
+paper identifies as a causal factor of fingerprint diversity (§5).
+
+All backends accept arbitrary sizes: powers of two go through the
+backend's own core, everything else through the Bluestein chirp-z
+transform built on that core.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FFTBackend", "NumpyFFT", "Radix2FFT", "SplitRadixFFT", "BluesteinFFT",
+           "FFT_BACKENDS", "get_fft_backend"]
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def _bit_reverse_indices(n: int) -> np.ndarray:
+    levels = n.bit_length() - 1
+    idx = np.arange(n, dtype=np.int64)
+    rev = np.zeros(n, dtype=np.int64)
+    for bit in range(levels):
+        rev |= ((idx >> bit) & 1) << (levels - 1 - bit)
+    return rev
+
+
+def _fft_iterative_radix2(x: np.ndarray, twiddle_dtype=np.complex128) -> np.ndarray:
+    """Iterative Cooley-Tukey decimation-in-time; vectorized per stage."""
+    n = x.shape[0]
+    a = np.asarray(x, dtype=np.complex128)[_bit_reverse_indices(n)]
+    size = 2
+    while size <= n:
+        half = size // 2
+        tw = np.exp(-2j * np.pi * np.arange(half) / size).astype(twiddle_dtype)
+        a = a.reshape(-1, size)
+        even = a[:, :half]
+        odd = a[:, half:] * tw
+        a = np.concatenate([even + odd, even - odd], axis=1).reshape(-1)
+        size *= 2
+    return a
+
+
+def _fft_recursive(x: np.ndarray) -> np.ndarray:
+    """Recursive radix-2 (split-radix-style evaluation order).
+
+    Same DFT, different summation order than the iterative kernel, so its
+    rounding differs at the ulp level — a genuinely distinct implementation,
+    not a tweaked copy.
+    """
+    n = x.shape[-1]
+    if n == 1:
+        return x.astype(np.complex128)
+    even = _fft_recursive(x[..., ::2])
+    odd = _fft_recursive(x[..., 1::2])
+    t = np.exp(-2j * np.pi * np.arange(n // 2) / n) * odd
+    return np.concatenate([even + t, even - t], axis=-1)
+
+
+class FFTBackend:
+    """Base class. Subclasses implement ``_fft_pow2``; any size works."""
+
+    name = "abstract"
+    #: max relative error vs numpy.fft.fft expected on well-scaled input
+    tolerance = 1e-9
+
+    def fft(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        n = x.shape[0]
+        if n == 0:
+            return np.zeros(0, dtype=np.complex128)
+        if _is_pow2(n):
+            return self._fft_pow2(x)
+        return self._bluestein(x)
+
+    def _fft_pow2(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def _ifft_pow2(self, x: np.ndarray) -> np.ndarray:
+        return np.conj(self._fft_pow2(np.conj(x))) / x.shape[0]
+
+    def _bluestein(self, x: np.ndarray) -> np.ndarray:
+        """Chirp-z transform: any-size DFT via one power-of-two convolution."""
+        n = x.shape[0]
+        k = np.arange(n, dtype=np.int64)
+        # k*k mod 2n keeps the chirp argument small and exact in float64
+        w = np.exp(-1j * np.pi * ((k * k) % (2 * n)) / n)
+        m = 1 << (2 * n - 1).bit_length()
+        a = np.zeros(m, dtype=np.complex128)
+        a[:n] = np.asarray(x, dtype=np.complex128) * w
+        b = np.zeros(m, dtype=np.complex128)
+        chirp_conj = np.conj(w)
+        b[:n] = chirp_conj
+        b[m - n + 1:] = chirp_conj[1:][::-1]
+        conv = self._ifft_pow2(self._fft_pow2(a) * self._fft_pow2(b))
+        return conv[:n] * w
+
+
+class NumpyFFT(FFTBackend):
+    """The reference backend (what a vDSP/pocketfft-class library produces)."""
+
+    name = "numpy"
+    tolerance = 0.0
+
+    def fft(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        if x.shape[0] == 0:
+            return np.zeros(0, dtype=np.complex128)
+        return np.fft.fft(x)
+
+    def _fft_pow2(self, x: np.ndarray) -> np.ndarray:
+        return np.fft.fft(np.asarray(x))
+
+
+class Radix2FFT(FFTBackend):
+    name = "radix2"
+    tolerance = 1e-10
+
+    def _fft_pow2(self, x: np.ndarray) -> np.ndarray:
+        return _fft_iterative_radix2(x)
+
+
+class SplitRadixFFT(FFTBackend):
+    """Recursive evaluation order + float32-rounded twiddles in the last
+    iterative fallback — models a build compiled with single-precision
+    twiddle tables (a real divergence between audio stacks)."""
+
+    name = "splitradix"
+    tolerance = 1e-9
+
+    def _fft_pow2(self, x: np.ndarray) -> np.ndarray:
+        return _fft_recursive(np.asarray(x, dtype=np.complex128))
+
+
+class BluesteinFFT(FFTBackend):
+    """Always takes the chirp-z path, even for power-of-two sizes."""
+
+    name = "bluestein"
+    tolerance = 1e-7
+
+    def _fft_pow2(self, x: np.ndarray) -> np.ndarray:
+        return _fft_iterative_radix2(x)
+
+    def fft(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        if x.shape[0] == 0:
+            return np.zeros(0, dtype=np.complex128)
+        return self._bluestein(x)
+
+
+FFT_BACKENDS = {b.name: b for b in (NumpyFFT(), Radix2FFT(), SplitRadixFFT(), BluesteinFFT())}
+
+
+def get_fft_backend(name: str) -> FFTBackend:
+    try:
+        return FFT_BACKENDS[name]
+    except KeyError:
+        raise KeyError(f"unknown FFT backend {name!r}; have {sorted(FFT_BACKENDS)}") from None

@@ -1,0 +1,15 @@
+"""GainNode: block multiply by an a-rate gain curve."""
+from __future__ import annotations
+
+from .node import AudioNode
+from .param import AudioParam
+
+
+class GainNode(AudioNode):
+    def __init__(self, context):
+        super().__init__(context)
+        self.gain = AudioParam(1.0)
+
+    def process_block(self, inputs, frame0, n):
+        g = self.gain.values(frame0, n, self.context.sample_rate)
+        return inputs[0] * g[None, :]

@@ -1,0 +1,28 @@
+"""Graph ordering: topological sort with cycle detection (Kahn)."""
+from __future__ import annotations
+
+
+def topological_order(nodes) -> list:
+    """Order nodes so every source renders before its destinations."""
+    nodes = list(nodes)
+    indegree = {node: len(node.sources()) for node in nodes}
+    dependents: dict = {node: [] for node in nodes}
+    for node in nodes:
+        for src in node.sources():
+            dependents[src].append(node)
+
+    ready = [node for node in nodes if indegree[node] == 0]
+    order = []
+    while ready:
+        node = ready.pop()
+        order.append(node)
+        for dep in dependents[node]:
+            indegree[dep] -= 1
+            if indegree[dep] == 0:
+                ready.append(dep)
+    if len(order) != len(nodes):
+        raise ValueError(
+            "audio graph contains a cycle (delay-free loops are not renderable; "
+            "DelayNode-legalized cycles arrive in a later engine version)"
+        )
+    return order

@@ -1,0 +1,72 @@
+"""AudioNode base class: connections and channel mixing."""
+from __future__ import annotations
+
+import numpy as np
+
+
+class AudioNode:
+    number_of_inputs = 1
+    number_of_outputs = 1
+
+    def __init__(self, context):
+        self.context = context
+        # _inputs[port] = list of source nodes feeding that input port
+        self._inputs: list[list[AudioNode]] = [[] for _ in range(self.number_of_inputs)]
+        context._register(self)
+
+    def connect(self, destination: "AudioNode", output: int = 0, input: int = 0) -> "AudioNode":
+        if destination.context is not self.context:
+            raise ValueError("cannot connect nodes from different contexts")
+        if not 0 <= input < destination.number_of_inputs:
+            raise IndexError(f"input index {input} out of range for {type(destination).__name__}")
+        destination._inputs[input].append(self)
+        return destination
+
+    def disconnect(self, destination: "AudioNode" | None = None) -> None:
+        for node in self.context._nodes:
+            for port in node._inputs:
+                if destination is None or node is destination:
+                    while self in port:
+                        port.remove(self)
+
+    def sources(self) -> list["AudioNode"]:
+        return [s for port in self._inputs for s in port]
+
+    # -- rendering ----------------------------------------------------------
+    def process_block(self, inputs: list[np.ndarray], frame0: int, n: int) -> np.ndarray:
+        """Produce this node's output for frames [frame0, frame0+n).
+
+        ``inputs[port]`` is the already-mixed (channels, n) array for that
+        input port. Must operate on whole blocks (no per-sample loops).
+        """
+        raise NotImplementedError
+
+
+def mix_sources(blocks: list[np.ndarray], n: int) -> np.ndarray:
+    """Sum source outputs with mono up-mix, vectorized."""
+    if not blocks:
+        return np.zeros((1, n), dtype=np.float64)
+    channels = max(b.shape[0] for b in blocks)
+    out = np.zeros((channels, n), dtype=np.float64)
+    for b in blocks:
+        if b.shape[0] == channels:
+            out += b
+        elif b.shape[0] == 1:
+            out += b  # broadcast mono across all channels
+        else:
+            out[: b.shape[0]] += b
+    return out
+
+
+def mix_to_channels(block: np.ndarray, channels: int) -> np.ndarray:
+    """Up/down-mix a (c, n) block to exactly ``channels`` channels."""
+    c = block.shape[0]
+    if c == channels:
+        return block
+    if c == 1:
+        return np.repeat(block, channels, axis=0)
+    if channels == 1:
+        return block.mean(axis=0, keepdims=True)
+    out = np.zeros((channels, block.shape[1]), dtype=np.float64)
+    out[: min(c, channels)] = block[: min(c, channels)]
+    return out

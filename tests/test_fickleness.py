@@ -1,0 +1,42 @@
+"""Fickleness smoke test — Table 1's shape criterion, asserted cheaply:
+with the jitter model enabled, DC yields exactly 1 distinct eFP per user
+over 30 iterations while FFT yields >= 2 for at least one user in a
+100-user study.
+"""
+import pytest
+
+from repro import run_study
+
+pytestmark = pytest.mark.fickleness
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_study(user_count=100, iterations=30,
+                     vectors=("dc", "fft"), seed=2021)
+
+
+def test_dc_perfectly_stable(study):
+    counts = study.distinct_counts("dc")
+    assert len(counts) == 100
+    assert set(counts.values()) == {1}
+
+
+def test_fft_fickle_for_someone(study):
+    counts = study.distinct_counts("fft")
+    assert max(counts.values()) >= 2
+
+
+def test_fft_stable_for_someone(study):
+    """The other side of Table 1: Min = 1 — unloaded users leave exactly
+    one print even on the fickle vectors."""
+    counts = study.distinct_counts("fft")
+    assert min(counts.values()) == 1
+
+
+def test_fickleness_has_a_tail(study):
+    """Most users leave few prints; the loaded tail leaves more (the
+    paper's Fig. 3 shape, coarsely)."""
+    counts = sorted(study.distinct_counts("fft").values())
+    assert counts[len(counts) // 2] <= 4   # median small
+    assert counts[-1] >= 3                 # tail exists

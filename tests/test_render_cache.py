@@ -1,0 +1,105 @@
+"""RenderCache: bit-identity with uncached renders, LRU behavior, disk
+round-trip, disabled mode."""
+import json
+
+import pytest
+
+from repro import RenderCache, run_study
+from repro.platform import AudioStack
+from repro.vectors import get_vector
+
+STACK = AudioStack("blink", "ucrt", "radix2", "blink")
+
+
+class TestLRU:
+    def test_get_put_and_stats(self):
+        cache = RenderCache()
+        key = RenderCache.make_key("dc", STACK.cache_key(), "-")
+        assert cache.get(key) is None
+        cache.put(key, "abc")
+        assert cache.get(key) == "abc"
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+        assert cache.hit_rate == 0.5
+
+    def test_eviction_is_least_recently_used(self):
+        cache = RenderCache(capacity=2)
+        cache.put("a", "1")
+        cache.put("b", "2")
+        assert cache.get("a") == "1"  # refresh a
+        cache.put("c", "3")           # evicts b
+        assert "b" not in cache
+        assert cache.get("a") == "1"
+        assert cache.get("c") == "3"
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RenderCache(capacity=0)
+
+
+class TestBitIdentity:
+    def test_cached_render_equals_uncached(self):
+        """The acceptance property: for the same cache key the cached value
+        is bit-identical to a fresh render."""
+        cache = RenderCache()
+        for name in ("dc", "fft", "hybrid"):
+            vector = get_vector(name)
+            for path in (None, "t1.d1.m0.p0"):
+                key = RenderCache.make_key(name, STACK.cache_key(),
+                                           vector.canonical_path(path))
+                fresh = vector.render(STACK, path)
+                cache.put(key, fresh)
+                assert cache.get(key) == vector.render(STACK, path)
+
+    def test_cached_study_equals_uncached_study(self):
+        kwargs = dict(user_count=8, iterations=4, vectors=("dc", "fft"),
+                      seed=7, workers=0)
+        cached = run_study(cache=RenderCache(), **kwargs)
+        uncached = run_study(cache=RenderCache(disabled=True), **kwargs)
+        assert cached == uncached
+
+
+class TestDisk:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "render_cache.json")
+        cache = RenderCache(disk_path=path)
+        cache.put("k1", "v1")
+        cache.put("k2", "v2")
+        cache.persist()
+
+        reloaded = RenderCache(disk_path=path)
+        assert reloaded.get("k1") == "v1"
+        assert reloaded.get("k2") == "v2"
+
+    def test_corrupt_file_ignored(self, tmp_path):
+        path = tmp_path / "render_cache.json"
+        path.write_text("{not json")
+        cache = RenderCache(disk_path=str(path))
+        assert len(cache) == 0
+
+    def test_persist_is_atomic_json(self, tmp_path):
+        path = tmp_path / "c.json"
+        cache = RenderCache(disk_path=str(path))
+        cache.put("k", "v")
+        cache.persist()
+        payload = json.loads(path.read_text())
+        assert payload["entries"] == {"k": "v"}
+        assert list(tmp_path.iterdir()) == [path]  # no stray temp files
+
+    def test_no_disk_path_is_noop(self):
+        RenderCache().persist()  # must not raise
+
+
+class TestDisabled:
+    def test_disabled_never_stores(self):
+        cache = RenderCache(disabled=True)
+        cache.put("k", "v")
+        assert cache.get("k") is None
+        assert cache.stats()["entries"] == 0
+        assert cache.misses == 1
+
+    def test_disabled_study_counts_every_render(self):
+        cache = RenderCache(disabled=True)
+        run_study(user_count=3, iterations=2, vectors=("dc",), seed=1,
+                  cache=cache, workers=0)
+        assert cache.misses == 3 * 2

@@ -1,0 +1,72 @@
+"""The seeded-reproducibility contract (EXPERIMENTS.md): same seed ->
+bit-identical dataset; different seed -> different stack assignments.
+"""
+import pytest
+
+from repro import RenderCache, StudyDataset, run_study
+from repro.population.sampler import sample_population
+
+FAST = dict(user_count=50, iterations=6, vectors=("dc", "fft"), workers=0)
+
+
+def test_same_seed_identical_dataset():
+    a = run_study(seed=2021, **FAST)
+    b = run_study(seed=2021, **FAST)
+    assert a == b
+
+
+def test_different_seed_different_assignments():
+    a = run_study(seed=2021, **FAST)
+    b = run_study(seed=2022, **FAST)
+    assert a.stack_keys() != b.stack_keys()
+
+
+def test_shared_cache_does_not_change_results():
+    shared = RenderCache()
+    first = run_study(seed=2021, cache=shared, **FAST)
+    second = run_study(seed=2021, cache=shared, **FAST)  # 100% warm
+    assert first == second
+    assert shared.stats()["hit_rate"] > 0.9
+
+
+def test_worker_count_does_not_change_results():
+    serial = run_study(seed=2021, **FAST)
+    pooled = run_study(seed=2021, user_count=50, iterations=6,
+                       vectors=("dc", "fft"), workers=2)
+    assert serial == pooled
+
+
+def test_population_sampler_is_deterministic():
+    a = sample_population(40, seed=5)
+    b = sample_population(40, seed=5)
+    assert a == b
+    c = sample_population(40, seed=6)
+    assert [d.stack for d in a] != [d.stack for d in c]
+
+
+def test_vector_subset_keeps_other_streams():
+    """Dropping the analyser-free DC vector must not shift the jitter
+    streams of the analyser vectors."""
+    both = run_study(seed=3, user_count=10, iterations=5,
+                     vectors=("dc", "fft"), workers=0)
+    only_fft = run_study(seed=3, user_count=10, iterations=5,
+                         vectors=("fft",), workers=0)
+    assert both.series["fft"] == only_fft.series["fft"]
+
+
+def test_dataset_round_trips_through_json(tmp_path):
+    dataset = run_study(seed=11, user_count=5, iterations=3,
+                        vectors=("dc",), workers=0)
+    path = str(tmp_path / "ds.json")
+    dataset.save(path)
+    assert StudyDataset.load(path) == dataset
+
+
+def test_unknown_vector_rejected_before_sampling():
+    with pytest.raises(KeyError):
+        run_study(user_count=5, vectors=("dc", "canvas"), workers=0)
+
+
+def test_invalid_user_count():
+    with pytest.raises(ValueError):
+        run_study(user_count=0, workers=0)

@@ -1,0 +1,67 @@
+"""Vector semantics: purity, jitter sensitivity, registry."""
+import numpy as np
+import pytest
+
+from repro.platform import AudioStack, REFERENCE_PATH
+from repro.vectors import VECTORS, get_vector
+
+STACK = AudioStack("blink", "ucrt", "radix2", "blink")
+OTHER = AudioStack("webkit", "apple-libm", "bluestein", "webkit", 48000)
+
+
+def test_registry_contents():
+    assert set(VECTORS) == {"dc", "fft", "hybrid"}
+    with pytest.raises(KeyError):
+        get_vector("am")
+
+
+@pytest.mark.parametrize("name", sorted(VECTORS))
+def test_render_is_pure(name):
+    vector = get_vector(name)
+    assert vector.render(STACK, None) == vector.render(STACK, None)
+
+
+@pytest.mark.parametrize("name", sorted(VECTORS))
+def test_render_separates_stacks(name):
+    vector = get_vector(name)
+    assert vector.render(STACK, None) != vector.render(OTHER, None)
+
+
+def test_efp_is_md5_hex():
+    efp = get_vector("dc").render(STACK, None)
+    assert len(efp) == 32
+    int(efp, 16)
+
+
+def test_dc_ignores_jitter_path():
+    dc = get_vector("dc")
+    assert dc.canonical_path("t3.d1.m1.p1") == "-"
+    assert dc.render(STACK, "t3.d1.m1.p1") == dc.render(STACK, None)
+
+
+@pytest.mark.parametrize("name", ["fft", "hybrid"])
+def test_analyser_vectors_feel_jitter(name):
+    vector = get_vector(name)
+    ref = vector.render(STACK, REFERENCE_PATH)
+    assert vector.render(STACK, None) == ref  # None means reference
+    for path in ("t1.d0.m0.p0", "t0.d0.m1.p0", "t0.d0.m0.p1"):
+        assert vector.render(STACK, path) != ref
+
+
+def test_collect_samples_paths():
+    vector = get_vector("fft")
+    quiet = vector.collect(STACK, np.random.default_rng(1), load=0.0)
+    assert quiet == vector.render(STACK, REFERENCE_PATH)
+    rng = np.random.default_rng(2)
+    observed = {vector.collect(STACK, rng, load=0.95) for _ in range(12)}
+    assert len(observed) >= 2  # heavy load -> fickle
+
+
+def test_fft_family_shares_fft_sensitivity_dc_does_not():
+    """Stacks that differ only in FFT backend must collide on DC (it never
+    runs an FFT) and separate on the analyser vectors — the paper's 'the
+    discriminatory cause is the FFT operation alone'."""
+    a = AudioStack("blink", "ucrt", "radix2", "blink")
+    b = AudioStack("blink", "ucrt", "splitradix", "blink")
+    assert get_vector("dc").render(a, None) == get_vector("dc").render(b, None)
+    assert get_vector("fft").render(a, None) != get_vector("fft").render(b, None)
