@@ -9,6 +9,12 @@ end-to-end wall times, and asserts this PR's acceptance floor
 to beat. Both runs use the same worker configuration, and the datasets
 are asserted bit-identical — the cache changes cost, never results.
 
+The cached run is instrumented (repro.obs): its run report lands in
+benchmarks/.cache/BENCH_render_report.json and the BENCH JSON gains a
+"breakdown" section (phase timings, per-vector latency, hot nodes, pool
+utilization). The instrumented side pays the observation overhead, so
+the reported speedup never flatters the cache.
+
 Usage: PYTHONPATH=src python benchmarks/bench_render_perf.py [--users N]
 """
 from __future__ import annotations
@@ -26,9 +32,44 @@ if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 from repro import RenderCache, run_study  # noqa: E402
+from repro.obs import Histogram  # noqa: E402
 from repro.webaudio import ENGINE_VERSION  # noqa: E402
 
 VECTORS = ("dc", "fft", "hybrid")
+
+
+def _breakdown(report: dict) -> dict:
+    """Condense a repro.obs run report into the BENCH breakdown section."""
+    latency = {}
+    for name, payload in report["histograms"].items():
+        prefix = "render.latency_s."
+        if not name.startswith(prefix):
+            continue
+        hist = Histogram.from_dict(payload)
+        latency[name[len(prefix):]] = {
+            "renders": hist.count,
+            "mean_ms": round(hist.mean * 1e3, 3),
+            "p95_ms": round(hist.approx_quantile(0.95) * 1e3, 3),
+            "max_ms": round((hist.max or 0.0) * 1e3, 3),
+        }
+    hot: dict[str, dict] = {}
+    for nodes in report["node_profile"].values():
+        for label, entry in nodes.items():
+            agg = hot.setdefault(label, {"seconds": 0.0, "calls": 0})
+            agg["seconds"] += entry["seconds"]
+            agg["calls"] += entry["calls"]
+    hot_nodes = [
+        {"node": label, "wall_ms": round(agg["seconds"] * 1e3, 3),
+         "calls": agg["calls"]}
+        for label, agg in sorted(hot.items(), key=lambda kv: -kv[1]["seconds"])
+    ][:8]
+    return {
+        "phases": {p["name"]: round(p["duration_s"], 4)
+                   for p in report["phases"]},
+        "render_latency": latency,
+        "hot_nodes": hot_nodes,
+        "pool": report["pool"],
+    }
 
 
 def main() -> int:
@@ -48,9 +89,12 @@ def main() -> int:
     print(f"workload: {args.users} users x {args.iterations} iterations "
           f"x {len(VECTORS)} vectors = {grid_items} grid items")
 
+    report_path = os.path.join(_HERE, ".cache", "BENCH_render_report.json")
+    os.makedirs(os.path.dirname(report_path), exist_ok=True)
+
     cache = RenderCache()
     t0 = time.perf_counter()
-    cached_dataset = run_study(cache=cache, **common)
+    cached_dataset = run_study(cache=cache, report_path=report_path, **common)
     cached_wall = time.perf_counter() - t0
     stats = cache.stats()
     distinct_classes = stats["entries"]
@@ -95,6 +139,10 @@ def main() -> int:
         "speedup": round(speedup, 2),
         "datasets_bit_identical": True,
     }
+    with open(report_path, "r", encoding="utf-8") as fh:
+        run_report = json.load(fh)
+    result["breakdown"] = _breakdown(run_report)
+    result["breakdown"]["report_path"] = os.path.relpath(report_path, _HERE)
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(result, fh, indent=2)
         fh.write("\n")

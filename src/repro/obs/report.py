@@ -1,0 +1,239 @@
+"""The machine-readable run report: build, validate, render, CLI.
+
+A report is one JSON document describing where a study run spent its
+time: top-level phase spans (plan/render/assemble), the full span list,
+counters, per-vector latency histograms, cache statistics, the per-stack
+hot-node profile, and pool utilization. ``run_study(report_path=...)``
+writes one; CI schema-checks it with ``--check`` and uploads it as an
+artifact; ``python -m repro.obs.report <path>`` renders it as tables.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .recorder import Histogram
+
+REPORT_KIND = "repro.obs.report"
+REPORT_FORMAT = 1
+
+#: every study report must carry exactly these top-level phases
+STUDY_PHASES = ("plan", "render", "assemble")
+
+
+def build_report(recorder, workload: dict, cache_stats: dict | None = None,
+                 pool: dict | None = None) -> dict:
+    """Assemble the report document from a recorder plus run context."""
+    snapshot = recorder.snapshot()
+    top_level = [s for s in snapshot["spans"] if s.get("parent") is None]
+    top_level.sort(key=lambda s: s["start_s"])
+    phases = [{"name": s["name"], "start_s": s["start_s"],
+               "duration_s": s["duration_s"]} for s in top_level]
+    return {
+        "kind": REPORT_KIND,
+        "format": REPORT_FORMAT,
+        "workload": dict(workload),
+        "phases": phases,
+        "spans": snapshot["spans"],
+        "counters": snapshot["counters"],
+        "histograms": snapshot["histograms"],
+        "cache": dict(cache_stats) if cache_stats is not None else None,
+        "node_profile": snapshot["node_profile"],
+        "pool": dict(pool) if pool is not None else None,
+    }
+
+
+# -- validation (the CI schema check) ----------------------------------------
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_report(payload) -> list[str]:
+    """Return the list of schema problems (empty == valid)."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["report is not a JSON object"]
+    if payload.get("kind") != REPORT_KIND:
+        problems.append(f"kind must be {REPORT_KIND!r}, got {payload.get('kind')!r}")
+    if payload.get("format") != REPORT_FORMAT:
+        problems.append(f"format must be {REPORT_FORMAT}, got {payload.get('format')!r}")
+    for key in ("workload", "counters", "histograms", "node_profile"):
+        if not isinstance(payload.get(key), dict):
+            problems.append(f"{key} must be an object")
+
+    phases = payload.get("phases")
+    if not isinstance(phases, list) or not phases:
+        problems.append("phases must be a non-empty array")
+    else:
+        names = set()
+        for i, phase in enumerate(phases):
+            if not isinstance(phase, dict) or not isinstance(phase.get("name"), str) \
+                    or not _is_number(phase.get("duration_s")):
+                problems.append(f"phases[{i}] must have a string name and numeric duration_s")
+                continue
+            names.add(phase["name"])
+        missing = [p for p in STUDY_PHASES if p not in names]
+        if missing:
+            problems.append(f"phases missing {missing} (need all of {list(STUDY_PHASES)})")
+
+    spans = payload.get("spans")
+    if not isinstance(spans, list):
+        problems.append("spans must be an array")
+
+    if isinstance(payload.get("counters"), dict):
+        for name, value in payload["counters"].items():
+            if not _is_number(value):
+                problems.append(f"counter {name!r} is not numeric")
+
+    if isinstance(payload.get("histograms"), dict):
+        for name, hist in payload["histograms"].items():
+            if not isinstance(hist, dict) or not {"count", "sum", "buckets"} <= hist.keys():
+                problems.append(f"histogram {name!r} missing count/sum/buckets")
+            elif isinstance(hist["buckets"], dict):
+                if sum(hist["buckets"].values()) != hist["count"]:
+                    problems.append(f"histogram {name!r} bucket counts do not sum to count")
+            else:
+                problems.append(f"histogram {name!r} buckets must be an object")
+
+    cache = payload.get("cache")
+    if cache is not None:
+        if not isinstance(cache, dict) or not {"hits", "misses"} <= cache.keys():
+            problems.append("cache must be null or an object with hits/misses")
+
+    if isinstance(payload.get("node_profile"), dict):
+        for stack, nodes in payload["node_profile"].items():
+            if not isinstance(nodes, dict):
+                problems.append(f"node_profile[{stack!r}] must be an object")
+                continue
+            for label, entry in nodes.items():
+                if not isinstance(entry, dict) or not _is_number(entry.get("seconds")) \
+                        or not isinstance(entry.get("calls"), int):
+                    problems.append(
+                        f"node_profile[{stack!r}][{label!r}] must have numeric "
+                        "seconds and integer calls")
+    return problems
+
+
+# -- human-readable rendering -------------------------------------------------
+
+def _table(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+              for i, h in enumerate(headers)]
+    def fmt(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.3f}"
+
+
+def render_report(payload: dict) -> str:
+    """Render a report dict as human-readable tables."""
+    out: list[str] = []
+    workload = payload.get("workload", {})
+    out.append("== run report ==")
+    out.append("workload: " + ", ".join(f"{k}={v}" for k, v in workload.items()))
+
+    phases = payload.get("phases", [])
+    total = sum(p["duration_s"] for p in phases) or 1.0
+    out.append("")
+    out.append("phases:")
+    out.append(_table(
+        ["phase", "wall_ms", "share"],
+        [[p["name"], _ms(p["duration_s"]), f"{100 * p['duration_s'] / total:5.1f}%"]
+         for p in phases]))
+
+    cache = payload.get("cache")
+    if cache:
+        out.append("")
+        out.append("cache: " + ", ".join(
+            f"{k}={cache[k]}" for k in
+            ("hits", "misses", "hit_rate", "entries", "evictions", "disk_loads")
+            if k in cache))
+
+    histograms = payload.get("histograms", {})
+    if histograms:
+        out.append("")
+        out.append("latency histograms:")
+        rows = []
+        for name in sorted(histograms):
+            hist = Histogram.from_dict(histograms[name])
+            rows.append([name, str(hist.count), _ms(hist.mean),
+                         _ms(hist.approx_quantile(0.5)),
+                         _ms(hist.approx_quantile(0.95)),
+                         _ms(hist.max or 0.0)])
+        out.append(_table(["histogram", "n", "mean_ms", "p50_ms", "p95_ms",
+                           "max_ms"], rows))
+
+    counters = payload.get("counters", {})
+    if counters:
+        out.append("")
+        out.append("counters:")
+        out.append(_table(["counter", "value"],
+                          [[k, f"{v:g}"] for k, v in sorted(counters.items())]))
+
+    node_profile = payload.get("node_profile", {})
+    if node_profile:
+        out.append("")
+        out.append("hot nodes (per profiled stack):")
+        for stack in sorted(node_profile):
+            nodes = node_profile[stack]
+            stack_total = sum(e["seconds"] for e in nodes.values()) or 1.0
+            out.append(f"  stack {stack}")
+            rows = [[label, _ms(entry["seconds"]), str(entry["calls"]),
+                     f"{100 * entry['seconds'] / stack_total:5.1f}%"]
+                    for label, entry in
+                    sorted(nodes.items(), key=lambda kv: -kv[1]["seconds"])]
+            table = _table(["node", "wall_ms", "calls", "share"], rows)
+            out.extend("  " + line for line in table.splitlines())
+
+    pool = payload.get("pool")
+    if pool:
+        out.append("")
+        out.append("pool: " + ", ".join(f"{k}={v}" for k, v in pool.items()))
+    out.append("")
+    return "\n".join(out)
+
+
+# -- CLI ----------------------------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Validate and pretty-print a repro.obs run report.")
+    parser.add_argument("path", help="path to a run-report JSON file")
+    parser.add_argument("--check", action="store_true",
+                        help="schema-check only; print nothing on success")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except FileNotFoundError:
+        print(f"error: no report at {args.path}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.path} is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+
+    problems = validate_report(payload)
+    if problems:
+        print(f"error: {args.path} failed schema check:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 2
+    if not args.check:
+        try:
+            print(render_report(payload))
+        except BrokenPipeError:  # e.g. piped into `head`
+            sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover — exercised via CLI tests
+    sys.exit(main())

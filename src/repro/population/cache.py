@@ -28,6 +28,8 @@ class RenderCache:
         self.disabled = disabled
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.disk_loads = 0
         self._store: OrderedDict[str, str] = OrderedDict()
         if disk_path and not disabled:
             self._load_disk()
@@ -36,17 +38,33 @@ class RenderCache:
     def make_key(vector_name: str, stack_key: str, jitter_path: str) -> str:
         return f"{vector_name}|{stack_key}|{jitter_path}"
 
+    # -- counter API --------------------------------------------------------
+    # Every stats mutation goes through these, including the study driver's
+    # disabled-cache baseline (which charges its per-item renders as misses
+    # without probing), so `stats()` means the same thing on every path.
+    def record_hit(self, n: int = 1) -> None:
+        self.hits += n
+
+    def record_miss(self, n: int = 1) -> None:
+        self.misses += n
+
+    def record_eviction(self, n: int = 1) -> None:
+        self.evictions += n
+
+    def record_disk_load(self, n: int = 1) -> None:
+        self.disk_loads += n
+
     # -- core ---------------------------------------------------------------
     def get(self, key: str) -> str | None:
         if self.disabled:
-            self.misses += 1
+            self.record_miss()
             return None
         value = self._store.get(key)
         if value is None:
-            self.misses += 1
+            self.record_miss()
             return None
         self._store.move_to_end(key)
-        self.hits += 1
+        self.record_hit()
         return value
 
     def put(self, key: str, value: str) -> None:
@@ -56,6 +74,7 @@ class RenderCache:
         self._store.move_to_end(key)
         while len(self._store) > self.capacity:
             self._store.popitem(last=False)
+            self.record_eviction()
 
     def __len__(self) -> int:
         return len(self._store)
@@ -77,11 +96,15 @@ class RenderCache:
             "entries": len(self._store),
             "capacity": self.capacity,
             "disabled": self.disabled,
+            "evictions": self.evictions,
+            "disk_loads": self.disk_loads,
         }
 
     def reset_stats(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.disk_loads = 0
 
     # -- disk persistence ---------------------------------------------------
     def _load_disk(self) -> None:
@@ -93,6 +116,7 @@ class RenderCache:
         for key, value in payload.get("entries", {}).items():
             if isinstance(key, str) and isinstance(value, str):
                 self._store[key] = value
+                self.record_disk_load()
 
     def persist(self) -> None:
         """Atomically write the cache to disk (no-op without a disk path)."""

@@ -1,4 +1,4 @@
-"""run_study: the deduplicating, cache-backed study driver.
+"""run_study: the deduplicating, cache-backed, instrumented study driver.
 
 The paper's headline workload is 2093 users x 30 iterations x 7 vectors
 (~440k renders). Because every eFP is a pure function of (vector, stack,
@@ -14,14 +14,27 @@ jitter path), the grid collapses to its distinct equivalence classes:
 
 With the cache disabled the driver degrades to the honest baseline: one
 real render per grid item. ``bench_render_perf.py`` measures the gap.
+
+Observability (repro.obs) is threaded through all three phases but is
+off by default: the ``recorder`` defaults to the null object, render
+jobs carry measure=0, and no per-render recorder call is ever made — the
+dataset is bit-identical either way. When a ``Recorder`` is active (or
+``report_path`` is set), each phase runs under a span, every render job
+is timed, the first job per (vector, stack) pair additionally runs under
+the per-node profiler, and pool workers return their measurements as a
+plain dict riding next to the eFP — the parent folds those into its own
+recorder, so aggregate counters are identical at any worker count.
 """
 from __future__ import annotations
 
+import json
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+from ..obs import NULL_RECORDER, Recorder, profile_nodes
 from ..platform.jitter import sample_path, sample_repertoire
 from ..platform.stacks import AudioStack
 from ..vectors.registry import get_vector
@@ -33,15 +46,76 @@ from .sampler import sample_population
 _STUDY_STREAM = 0x57D  # per-user jitter streams, disjoint from the sampler's
 _POOL_THRESHOLD = 24   # below this many misses, process-pool overhead loses
 
+#: measure levels carried by each render job
+_MEASURE_OFF = 0    # bare render, metrics slot is None
+_MEASURE_TIME = 1   # wall-clock the render
+_MEASURE_NODES = 2  # wall-clock + per-node profile
+
 
 def _user_rng(seed: int, user_index: int) -> np.random.Generator:
     return np.random.default_rng(np.random.SeedSequence([seed, _STUDY_STREAM, user_index]))
 
 
-def _render_class(job: tuple[str, str, AudioStack, str]) -> tuple[str, str]:
-    """Pool worker: render one equivalence class. Top-level for pickling."""
-    key, vector_name, stack, path = job
-    return key, get_vector(vector_name).render(stack, path)
+def _render_class(job: tuple[str, str, AudioStack, str, int]):
+    """Pool worker: render one equivalence class. Top-level for pickling.
+
+    Returns ``(key, efp, metrics)`` where metrics is None unless the job
+    asked to be measured — the serializable snapshot the parent merges.
+    """
+    key, vector_name, stack, path, measure = job
+    if not measure:
+        return key, get_vector(vector_name).render(stack, path), None
+    start = time.perf_counter()
+    if measure >= _MEASURE_NODES:
+        with profile_nodes() as profiler:
+            efp = get_vector(vector_name).render(stack, path)
+    else:
+        profiler = None
+        efp = get_vector(vector_name).render(stack, path)
+    metrics = {
+        "vector": vector_name,
+        "stack": stack.cache_key(),
+        "wall_s": time.perf_counter() - start,
+    }
+    if profiler is not None:
+        metrics["nodes"] = profiler.seconds
+        metrics["node_calls"] = profiler.calls
+    return key, efp, metrics
+
+
+def _make_jobs(keyed_classes, measuring: bool):
+    """Attach a measure level to each (key, class) pair.
+
+    When measuring, every job is timed and the first job per distinct
+    (vector, stack) pair also carries the per-node profiler — planning
+    order is deterministic, so the profiled set is identical at any
+    worker count.
+    """
+    if not measuring:
+        return [(key, vector_name, stack, path, _MEASURE_OFF)
+                for key, (vector_name, stack, path) in keyed_classes]
+    jobs = []
+    profiled: set[tuple[str, str]] = set()
+    for key, (vector_name, stack, path) in keyed_classes:
+        pair = (vector_name, stack.cache_key())
+        if pair in profiled:
+            measure = _MEASURE_TIME
+        else:
+            profiled.add(pair)
+            measure = _MEASURE_NODES
+        jobs.append((key, vector_name, stack, path, measure))
+    return jobs
+
+
+def _absorb_metrics(recorder, metrics: dict) -> None:
+    """Fold one worker-returned metrics snapshot into the parent recorder."""
+    recorder.count("render.renders")
+    recorder.observe(f"render.latency_s.{metrics['vector']}", metrics["wall_s"])
+    recorder.observe("pool.task_wall_s", metrics["wall_s"])
+    if "nodes" in metrics:
+        recorder.count("render.profiled_renders")
+        recorder.record_node_profile(metrics["stack"], metrics["nodes"],
+                                     metrics["node_calls"])
 
 
 def _plan(devices: list[Device], vectors: tuple[str, ...], iterations: int,
@@ -73,11 +147,10 @@ def _plan(devices: list[Device], vectors: tuple[str, ...], iterations: int,
     return item_keys, classes
 
 
-def _render_jobs(jobs, workers: int):
-    """Render (key, vector, stack, path) jobs, pooled when it pays off."""
-    if workers and workers > 1 and len(jobs) >= _POOL_THRESHOLD:
+def _render_jobs(jobs, workers: int, pooled: bool, chunk: int):
+    """Render measure-tagged jobs, pooled when it pays off."""
+    if pooled:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            chunk = max(1, len(jobs) // (workers * 4))
             yield from pool.map(_render_class, jobs, chunksize=chunk)
     else:
         for job in jobs:
@@ -87,46 +160,99 @@ def _render_jobs(jobs, workers: int):
 def run_study(user_count: int, iterations: int = 30,
               vectors: tuple[str, ...] = ("dc", "fft", "hybrid"),
               seed: int = 2021, cache: RenderCache | None = None,
-              workers: int | None = None) -> StudyDataset:
+              workers: int | None = None, recorder=None,
+              report_path: str | None = None) -> StudyDataset:
     """Run the synthetic study and return its dataset.
 
     ``workers``: None = auto (cpu count, capped at 8), 0 = render inline.
-    Results are bit-identical regardless of worker count or cache state.
+    ``recorder``: a ``repro.obs.Recorder`` to instrument the run; None =
+    observability off (null object, no per-render overhead) unless
+    ``report_path`` is set, which implies a fresh recorder.
+    ``report_path``: write a machine-readable run report (see repro.obs)
+    here after the study completes.
+    Results are bit-identical regardless of worker count, cache state,
+    or observability.
     """
     for name in vectors:
         get_vector(name)  # fail fast on unknown vectors
+    if recorder is None:
+        recorder = Recorder() if report_path is not None else NULL_RECORDER
+    measuring = recorder.enabled
     if cache is None:
         cache = RenderCache()
-    devices = sample_population(user_count, seed)
-    item_keys, classes = _plan(devices, tuple(vectors), iterations, seed)
-
     if workers is None:
         workers = min(os.cpu_count() or 1, 8)
 
-    if cache.disabled:
-        # honest baseline: one real render per grid item, same pool config
-        # as the cached path so benchmark speedups isolate the cache
-        jobs = [(key, *classes[key])
-                for keys in item_keys.values() for key in keys]
-        cache.misses += len(jobs)
-        rendered = dict(_render_jobs(jobs, workers))
-        lookup = rendered.__getitem__
-    else:
-        missing = [key for key in classes if cache.get(key) is None]
-        jobs = [(key, *classes[key]) for key in missing]
-        for key, efp in _render_jobs(jobs, workers):
-            cache.put(key, efp)
-        lookup = cache.get
+    with recorder.span("plan", users=user_count, iterations=iterations,
+                       vectors=list(vectors)) as plan_span:
+        devices = sample_population(user_count, seed)
+        item_keys, classes = _plan(devices, tuple(vectors), iterations, seed)
+        if measuring:
+            plan_span.set(grid_items=sum(len(k) for k in item_keys.values()),
+                          distinct_classes=len(classes))
 
-    dataset = StudyDataset(
-        seed=seed,
-        user_count=user_count,
-        iterations=iterations,
-        vectors=tuple(vectors),
-        users=[d.describe() for d in devices],
-    )
-    for vector_name in vectors:
-        dataset.series[vector_name] = {}
-    for (vector_name, user_id), keys in item_keys.items():
-        dataset.series[vector_name][user_id] = [lookup(key) for key in keys]
+    with recorder.span("render") as render_span:
+        if cache.disabled:
+            # honest baseline: one real render per grid item, same pool
+            # config as the cached path so benchmark speedups isolate the
+            # cache; renders are charged through the miss-counter API
+            keyed = [(key, classes[key])
+                     for keys in item_keys.values() for key in keys]
+            cache.record_miss(len(keyed))
+        else:
+            with recorder.span("probe"):
+                keyed = [(key, classes[key])
+                         for key in classes if cache.get(key) is None]
+        jobs = _make_jobs(keyed, measuring)
+        pooled = bool(workers and workers > 1 and len(jobs) >= _POOL_THRESHOLD)
+        chunk = max(1, len(jobs) // (workers * 4)) if pooled else 1
+        rendered: dict[str, str] = {}
+        for key, efp, metrics in _render_jobs(jobs, workers, pooled, chunk):
+            rendered[key] = efp
+            if metrics is not None:
+                _absorb_metrics(recorder, metrics)
+        if not cache.disabled:
+            for key, efp in rendered.items():
+                cache.put(key, efp)
+        lookup = rendered.__getitem__ if cache.disabled else cache.get
+
+    if measuring:
+        recorder.count("pool.jobs", len(jobs))
+        busy = recorder.histograms.get("pool.task_wall_s")
+        busy_s = busy.total if busy else 0.0
+        lanes = workers if pooled else 1
+        pool_info = {
+            "workers": workers, "pooled": pooled, "jobs": len(jobs),
+            "chunksize": chunk if pooled else None,
+            "busy_s": round(busy_s, 6),
+            "utilization": round(busy_s / (render_span.duration_s * lanes), 4)
+            if render_span.duration_s > 0 else None,
+        }
+    else:
+        pool_info = None
+
+    with recorder.span("assemble"):
+        dataset = StudyDataset(
+            seed=seed,
+            user_count=user_count,
+            iterations=iterations,
+            vectors=tuple(vectors),
+            users=[d.describe() for d in devices],
+        )
+        for vector_name in vectors:
+            dataset.series[vector_name] = {}
+        for (vector_name, user_id), keys in item_keys.items():
+            dataset.series[vector_name][user_id] = [lookup(key) for key in keys]
+
+    if report_path is not None:
+        from ..obs.report import build_report  # deferred: only report users pay for it
+        workload = {"users": user_count, "iterations": iterations,
+                    "vectors": list(vectors), "seed": seed,
+                    "grid_items": sum(len(k) for k in item_keys.values()),
+                    "distinct_classes": len(classes)}
+        report = build_report(recorder, workload, cache_stats=cache.stats(),
+                              pool=pool_info)
+        with open(report_path, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
     return dataset

@@ -9,8 +9,11 @@ while the DC vector (which never touches the analyser) stays bit-stable.
 """
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from ..obs.profiler import current_node_profiler
 from .node import AudioNode, mix_to_channels
 
 _VALID_FFT_SIZES = {2 ** k for k in range(5, 16)}
@@ -72,7 +75,15 @@ class AnalyserNode(AudioNode):
         frames = self._time_domain() * self._blackman(math)
         if cfg.jitter_transform is not None:
             frames = cfg.jitter_transform(frames)
-        spectrum = cfg.fft.fft(frames)[: self.frequency_bin_count]
+        profiler = current_node_profiler()
+        if profiler is None:
+            spectrum = cfg.fft.fft(frames)[: self.frequency_bin_count]
+        else:
+            # attribute the transform itself to its backend, so hot-node
+            # reports split Analyser bookkeeping from FFT kernel time
+            start = time.perf_counter()
+            spectrum = cfg.fft.fft(frames)[: self.frequency_bin_count]
+            profiler.add(f"fft:{cfg.fft.name}", time.perf_counter() - start)
         magnitude = np.abs(spectrum) / self._fft_size
 
         s = self.smoothing_time_constant

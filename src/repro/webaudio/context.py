@@ -1,12 +1,15 @@
 """OfflineAudioContext: the 128-frame-quantum block renderer."""
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from . import RENDER_QUANTUM_FRAMES
+from ..obs.profiler import current_node_profiler
 from .buffer import AudioBuffer
 from .config import EngineConfig
-from .graph import topological_order
+from .graph import node_label, topological_order
 from .node import AudioNode, mix_sources, mix_to_channels
 
 
@@ -68,15 +71,34 @@ class OfflineAudioContext:
         out = np.zeros((channels, self.length), dtype=np.float64)
         quantum = RENDER_QUANTUM_FRAMES
         block_out: dict[AudioNode, np.ndarray] = {}
-        for frame0 in range(0, self.length, quantum):
-            n = min(quantum, self.length - frame0)
-            block_out.clear()
-            for node in order:
-                ins = [
-                    mix_sources([block_out[s] for s in port], n)
-                    for port in node._inputs
-                ]
-                block_out[node] = node.process_block(ins, frame0, n)
-            out[:, frame0:frame0 + n] = block_out[self.destination][:, :n]
+        # Profiling duplicates the quantum loop rather than branching inside
+        # it: the unprofiled path (the default) must stay exactly the seed's
+        # hot loop, and the numeric operations are identical either way.
+        profiler = current_node_profiler()
+        if profiler is None:
+            for frame0 in range(0, self.length, quantum):
+                n = min(quantum, self.length - frame0)
+                block_out.clear()
+                for node in order:
+                    ins = [
+                        mix_sources([block_out[s] for s in port], n)
+                        for port in node._inputs
+                    ]
+                    block_out[node] = node.process_block(ins, frame0, n)
+                out[:, frame0:frame0 + n] = block_out[self.destination][:, :n]
+        else:
+            labels = {node: node_label(node) for node in order}
+            for frame0 in range(0, self.length, quantum):
+                n = min(quantum, self.length - frame0)
+                block_out.clear()
+                for node in order:
+                    start = time.perf_counter()
+                    ins = [
+                        mix_sources([block_out[s] for s in port], n)
+                        for port in node._inputs
+                    ]
+                    block_out[node] = node.process_block(ins, frame0, n)
+                    profiler.add(labels[node], time.perf_counter() - start)
+                out[:, frame0:frame0 + n] = block_out[self.destination][:, :n]
         self._rendered = AudioBuffer(out, self.sample_rate)
         return self._rendered

@@ -1,5 +1,13 @@
-"""Graph ordering: topological sort with cycle detection (Kahn)."""
+"""Graph ordering: topological sort with cycle detection (Kahn) — plus
+the node labels the per-node profiler attributes render time to."""
 from __future__ import annotations
+
+
+def node_label(node) -> str:
+    """Profiler attribution label: the class name minus the Node suffix
+    (OscillatorNode -> "Oscillator"), matching hot-node report rows."""
+    name = type(node).__name__
+    return name[:-4] if name.endswith("Node") else name
 
 
 def topological_order(nodes) -> list:

@@ -1,0 +1,171 @@
+"""Run-report coverage: `run_study(report_path=...)` emits a valid,
+self-consistent report; validate_report catches malformations; the
+`python -m repro.obs.report` CLI renders and schema-checks it."""
+import copy
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro import RenderCache, run_study
+from repro.obs import Recorder, build_report, render_report, validate_report
+from repro.obs.report import STUDY_PHASES, main as report_main
+
+STUDY = dict(user_count=8, iterations=4, vectors=("dc", "fft", "hybrid"),
+             seed=13, workers=0)
+
+
+@pytest.fixture(scope="module")
+def report_and_cache(tmp_path_factory):
+    path = tmp_path_factory.mktemp("obs") / "report.json"
+    cache = RenderCache()
+    dataset = run_study(cache=cache, report_path=str(path), **STUDY)
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh), cache, dataset, str(path)
+
+
+class TestStudyReport:
+    def test_schema_valid(self, report_and_cache):
+        report, _, _, _ = report_and_cache
+        assert validate_report(report) == []
+
+    def test_phase_spans_present(self, report_and_cache):
+        report, _, _, _ = report_and_cache
+        names = [p["name"] for p in report["phases"]]
+        assert names == list(STUDY_PHASES)
+        assert all(p["duration_s"] >= 0 for p in report["phases"])
+        # the probe span nests under render
+        span_names = {s["name"] for s in report["spans"]}
+        assert {"plan", "render", "assemble", "probe"} <= span_names
+
+    def test_cache_section_matches_cache_state(self, report_and_cache):
+        report, cache, _, _ = report_and_cache
+        assert report["cache"] == cache.stats()
+        assert report["cache"]["hits"] + report["cache"]["misses"] > 0
+
+    def test_per_vector_latency_histograms(self, report_and_cache):
+        report, cache, _, _ = report_and_cache
+        rendered = 0
+        for vector in STUDY["vectors"]:
+            hist = report["histograms"][f"render.latency_s.{vector}"]
+            assert hist["count"] > 0
+            assert hist["sum"] > 0
+            rendered += hist["count"]
+        # one timed render per cache miss, no more, no fewer
+        assert rendered == cache.stats()["misses"]
+        assert report["counters"]["render.renders"] == rendered
+
+    def test_node_breakdown_for_profiled_stacks(self, report_and_cache):
+        report, _, _, _ = report_and_cache
+        assert report["node_profile"], "no stack was profiled"
+        # at least one analyser-bearing stack must attribute time across
+        # the full node set, including its FFT backend
+        assert any(
+            {"Oscillator", "Gain", "Analyser", "DynamicsCompressor"} <= set(nodes)
+            and any(label.startswith("fft:") for label in nodes)
+            for nodes in report["node_profile"].values())
+        for nodes in report["node_profile"].values():
+            for entry in nodes.values():
+                assert entry["seconds"] >= 0 and entry["calls"] > 0
+
+    def test_workload_and_pool_sections(self, report_and_cache):
+        report, _, _, _ = report_and_cache
+        assert report["workload"]["users"] == STUDY["user_count"]
+        assert report["workload"]["grid_items"] == 8 * 4 * 3
+        assert report["pool"]["jobs"] == report["counters"]["pool.jobs"]
+        assert report["pool"]["pooled"] is False
+
+    def test_dataset_identical_with_and_without_observability(self, report_and_cache):
+        _, _, observed_dataset, _ = report_and_cache
+        assert run_study(**STUDY) == observed_dataset
+
+    def test_render_report_renders_every_section(self, report_and_cache):
+        report, _, _, _ = report_and_cache
+        text = render_report(report)
+        for marker in ("phases:", "cache:", "latency histograms:",
+                       "hot nodes", "pool:"):
+            assert marker in text
+
+
+class TestValidator:
+    def _valid(self, report_and_cache):
+        return copy.deepcopy(report_and_cache[0])
+
+    def test_rejects_non_object(self):
+        assert validate_report([1, 2]) != []
+        assert validate_report(None) != []
+
+    def test_rejects_wrong_kind_or_format(self, report_and_cache):
+        report = self._valid(report_and_cache)
+        report["kind"] = "something-else"
+        report["format"] = 99
+        problems = validate_report(report)
+        assert any("kind" in p for p in problems)
+        assert any("format" in p for p in problems)
+
+    def test_rejects_missing_phase(self, report_and_cache):
+        report = self._valid(report_and_cache)
+        report["phases"] = [p for p in report["phases"] if p["name"] != "render"]
+        assert any("render" in p for p in validate_report(report))
+
+    def test_rejects_inconsistent_histogram(self, report_and_cache):
+        report = self._valid(report_and_cache)
+        name = next(iter(report["histograms"]))
+        report["histograms"][name]["count"] += 1
+        assert any("sum to count" in p for p in validate_report(report))
+
+    def test_rejects_malformed_node_profile(self, report_and_cache):
+        report = self._valid(report_and_cache)
+        report["node_profile"]["stack"] = {"Gain": {"seconds": "fast"}}
+        assert validate_report(report) != []
+
+    def test_build_report_minimal_recorder(self):
+        rec = Recorder()
+        for phase in STUDY_PHASES:
+            with rec.span(phase):
+                pass
+        report = build_report(rec, workload={"users": 1})
+        assert validate_report(report) == []
+        assert report["cache"] is None and report["pool"] is None
+
+
+class TestCLI:
+    def test_check_passes_on_valid_report(self, report_and_cache):
+        _, _, _, path = report_and_cache
+        assert report_main([path, "--check"]) == 0
+
+    def test_renders_tables(self, report_and_cache, capsys):
+        _, _, _, path = report_and_cache
+        assert report_main([path]) == 0
+        out = capsys.readouterr().out
+        assert "== run report ==" in out and "phases:" in out
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        assert report_main([str(tmp_path / "nope.json")]) == 2
+        assert "no report" in capsys.readouterr().err
+
+    def test_invalid_json_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert report_main([str(bad), "--check"]) == 2
+
+    def test_schema_violation_fails(self, tmp_path, report_and_cache, capsys):
+        report = copy.deepcopy(report_and_cache[0])
+        del report["phases"]
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps(report))
+        assert report_main([str(path), "--check"]) == 2
+        assert "phases" in capsys.readouterr().err
+
+    def test_python_dash_m_entrypoint(self, report_and_cache):
+        import os
+        _, _, _, path = report_and_cache
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env = dict(os.environ, PYTHONPATH=src)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.obs.report", path, "--check"],
+            capture_output=True, text=True, env=env)
+        assert proc.returncode == 0, proc.stderr
+        assert "RuntimeWarning" not in proc.stderr

@@ -36,6 +36,45 @@ class TestLRU:
         with pytest.raises(ValueError):
             RenderCache(capacity=0)
 
+    def test_eviction_counter(self):
+        cache = RenderCache(capacity=2)
+        for i in range(5):
+            cache.put(str(i), "v")
+        assert cache.evictions == 3
+        assert cache.stats()["evictions"] == 3
+
+
+class TestCounterAPI:
+    def test_record_methods_drive_stats(self):
+        cache = RenderCache()
+        cache.record_hit(2)
+        cache.record_miss(3)
+        cache.record_eviction()
+        cache.record_disk_load(4)
+        stats = cache.stats()
+        assert (stats["hits"], stats["misses"]) == (2, 3)
+        assert (stats["evictions"], stats["disk_loads"]) == (1, 4)
+        assert cache.hit_rate == 0.4
+
+    def test_reset_clears_all_counters(self):
+        cache = RenderCache()
+        cache.record_hit()
+        cache.record_miss()
+        cache.record_eviction()
+        cache.record_disk_load()
+        cache.reset_stats()
+        assert cache.stats()["hits"] == cache.stats()["misses"] == 0
+        assert cache.stats()["evictions"] == cache.stats()["disk_loads"] == 0
+
+    def test_disabled_baseline_uses_miss_counter(self):
+        """The disabled-cache study path charges renders through
+        record_miss, so its stats line up with the probing path's."""
+        cache = RenderCache(disabled=True)
+        run_study(user_count=3, iterations=2, vectors=("dc",), seed=1,
+                  cache=cache, workers=0)
+        assert cache.stats()["misses"] == 6
+        assert cache.stats()["hits"] == 0
+
 
 class TestBitIdentity:
     def test_cached_render_equals_uncached(self):
@@ -88,6 +127,26 @@ class TestDisk:
 
     def test_no_disk_path_is_noop(self):
         RenderCache().persist()  # must not raise
+
+    def test_persist_creates_missing_directory(self, tmp_path):
+        """benchmarks/.cache/ is generated state (untracked); the cache
+        must create its directory on demand."""
+        path = str(tmp_path / "nested" / "dir" / "cache.json")
+        cache = RenderCache(disk_path=path)
+        cache.put("k", "v")
+        cache.persist()
+        assert RenderCache(disk_path=path).get("k") == "v"
+
+    def test_disk_load_counter(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = RenderCache(disk_path=path)
+        cache.put("k1", "v1")
+        cache.put("k2", "v2")
+        cache.persist()
+        reloaded = RenderCache(disk_path=path)
+        assert reloaded.disk_loads == 2
+        assert reloaded.stats()["disk_loads"] == 2
+        assert RenderCache(disk_path=path, disabled=True).disk_loads == 0
 
 
 class TestDisabled:
