@@ -1,19 +1,30 @@
 #!/usr/bin/env python
-"""Render-performance benchmark: the equivalence-class cache vs the
-honest per-item baseline, on the same 100-user x 30-iteration x 3-vector
+"""Render-performance benchmark: cache + batched rendering vs the honest
+per-class baseline, on the same 100-user x 30-iteration x 3-vector
 workload (9000 grid items).
 
-Writes benchmarks/BENCH_render.json with renders/sec, cache hit rate and
-end-to-end wall times, and asserts this PR's acceptance floor
-(>= 95% hit rate, >= 10x speedup) so later PRs have a perf trajectory
-to beat. Both runs use the same worker configuration, and the datasets
-are asserted bit-identical — the cache changes cost, never results.
+Three timed configurations, all producing bit-identical datasets:
 
-The cached run is instrumented (repro.obs): its run report lands in
-benchmarks/.cache/BENCH_render_report.json and the BENCH JSON gains a
-"breakdown" section (phase timings, per-vector latency, hot nodes, pool
-utilization). The instrumented side pays the observation overhead, so
-the reported speedup never flatters the cache.
+  baseline  cache disabled, ``batched=False`` — one engine pass per grid
+            item, one pool task per class: the pre-batching cost model.
+  batched   cache disabled, ``batched=True`` — misses grouped by
+            (vector, stack) and rendered through the engine's batch axis,
+            at the same worker count as the baseline. This isolates the
+            batching win from the caching win.
+  cached    cache enabled (default driver config) — the production path;
+            instrumented with repro.obs, its run report lands in
+            benchmarks/.cache/BENCH_render_report.json and feeds the
+            "breakdown" section (phases, per-vector latency, batch sizes,
+            hot nodes, pool utilization).
+
+A worker-scaling sweep re-times the batched cold render at workers =
+1, 2, 4, 8 so the pool thresholds in repro.population.study
+(``_POOL_THRESHOLD``, ``_POOL_GROUP_THRESHOLD``) and the group-count
+chunksize heuristic are pinned to measurements, not folklore.
+
+Acceptance floor (asserted, so later PRs have a trajectory to beat):
+>= 95% hit rate, cached speedup >= 10x, batched cold throughput >= 3x
+the per-class baseline at equal workers, datasets bit-identical tri-way.
 
 Usage: PYTHONPATH=src python benchmarks/bench_render_perf.py [--users N]
 """
@@ -33,9 +44,12 @@ if _SRC not in sys.path:
 
 from repro import RenderCache, run_study  # noqa: E402
 from repro.obs import Histogram  # noqa: E402
+from repro.population.study import (  # noqa: E402
+    _MAX_BATCH, _POOL_GROUP_THRESHOLD, _POOL_THRESHOLD)
 from repro.webaudio import ENGINE_VERSION  # noqa: E402
 
 VECTORS = ("dc", "fft", "hybrid")
+SWEEP_WORKERS = (1, 2, 4, 8)
 
 
 def _breakdown(report: dict) -> dict:
@@ -50,6 +64,26 @@ def _breakdown(report: dict) -> dict:
             "renders": hist.count,
             "mean_ms": round(hist.mean * 1e3, 3),
             "p95_ms": round(hist.approx_quantile(0.95) * 1e3, 3),
+            "max_ms": round((hist.max or 0.0) * 1e3, 3),
+        }
+    batch_sizes = None
+    if "render.batch_size" in report["histograms"]:
+        hist = Histogram.from_dict(report["histograms"]["render.batch_size"])
+        batch_sizes = {
+            "batches": hist.count,
+            "renders": int(hist.total),
+            "mean": round(hist.mean, 2),
+            "max": hist.max,
+        }
+    batch_wall = {}
+    for name, payload in report["histograms"].items():
+        prefix = "render.batch_wall_s."
+        if not name.startswith(prefix):
+            continue
+        hist = Histogram.from_dict(payload)
+        batch_wall[name[len(prefix):]] = {
+            "batches": hist.count,
+            "mean_ms": round(hist.mean * 1e3, 3),
             "max_ms": round((hist.max or 0.0) * 1e3, 3),
         }
     hot: dict[str, dict] = {}
@@ -67,6 +101,8 @@ def _breakdown(report: dict) -> dict:
         "phases": {p["name"]: round(p["duration_s"], 4)
                    for p in report["phases"]},
         "render_latency": latency,
+        "batch_sizes": batch_sizes,
+        "batch_wall": batch_wall,
         "hot_nodes": hot_nodes,
         "pool": report["pool"],
     }
@@ -79,6 +115,8 @@ def main() -> int:
     parser.add_argument("--seed", type=int, default=2021)
     parser.add_argument("--workers", type=int, default=None,
                         help="process-pool size (default: auto)")
+    parser.add_argument("--skip-sweep", action="store_true",
+                        help="skip the worker-scaling sweep")
     parser.add_argument("--out", default=os.path.join(_HERE, "BENCH_render.json"))
     args = parser.parse_args()
 
@@ -102,17 +140,50 @@ def main() -> int:
           f"({distinct_classes} classes rendered, "
           f"hit rate {stats['hit_rate']:.4f})")
 
+    batched = RenderCache(disabled=True)
+    t0 = time.perf_counter()
+    batched_dataset = run_study(cache=batched, **common)
+    batched_wall = time.perf_counter() - t0
+    print(f"batched run:  {batched_wall:8.2f}s  ({grid_items} renders, "
+          f"batch axis, cache disabled)")
+
     baseline = RenderCache(disabled=True)
     t0 = time.perf_counter()
-    baseline_dataset = run_study(cache=baseline, **common)
+    baseline_dataset = run_study(cache=baseline, batched=False, **common)
     baseline_wall = time.perf_counter() - t0
-    print(f"baseline run: {baseline_wall:8.2f}s  ({grid_items} renders)")
+    print(f"baseline run: {baseline_wall:8.2f}s  ({grid_items} renders, "
+          f"per-class, cache disabled)")
 
-    if cached_dataset != baseline_dataset:
-        print("FATAL: cached dataset differs from baseline dataset")
+    bit_identical = (cached_dataset == baseline_dataset == batched_dataset)
+    if not bit_identical:
+        print("FATAL: datasets differ between configurations")
         return 1
 
-    speedup = baseline_wall / cached_wall
+    sweep = []
+    if not args.skip_sweep:
+        print("worker sweep (batched, cache disabled):")
+        for workers in SWEEP_WORKERS:
+            sweep_common = dict(common, workers=workers)
+            t0 = time.perf_counter()
+            sweep_dataset = run_study(cache=RenderCache(disabled=True),
+                                      **sweep_common)
+            wall = time.perf_counter() - t0
+            ok = sweep_dataset == baseline_dataset
+            sweep.append({
+                "workers": workers,
+                "wall_s": round(wall, 4),
+                "renders_per_s": round(grid_items / wall, 2),
+                "bit_identical": ok,
+            })
+            print(f"  workers={workers}:  {wall:8.2f}s  "
+                  f"({grid_items / wall:7.1f} renders/s)"
+                  + ("" if ok else "  DATASET MISMATCH"))
+            if not ok:
+                print("FATAL: sweep dataset differs from baseline dataset")
+                return 1
+
+    batching_speedup = baseline_wall / batched_wall
+    cache_speedup = baseline_wall / cached_wall
     result = {
         "benchmark": "bench_render_perf",
         "engine_version": ENGINE_VERSION,
@@ -131,13 +202,28 @@ def main() -> int:
             "renders_performed": distinct_classes,
             "grid_items_per_s": round(grid_items / cached_wall, 2),
         },
+        "batched": {
+            "wall_s": round(batched_wall, 4),
+            "renders_performed": grid_items,
+            "renders_per_s": round(grid_items / batched_wall, 2),
+            "max_batch": _MAX_BATCH,
+        },
         "baseline": {
             "wall_s": round(baseline_wall, 4),
             "renders_performed": grid_items,
             "renders_per_s": round(grid_items / baseline_wall, 2),
         },
-        "speedup": round(speedup, 2),
-        "datasets_bit_identical": True,
+        "speedup": round(cache_speedup, 2),
+        "batching_speedup": round(batching_speedup, 2),
+        "datasets_bit_identical": bit_identical,
+        "pool_thresholds": {
+            "per_class_jobs": _POOL_THRESHOLD,
+            "batch_groups": _POOL_GROUP_THRESHOLD,
+            "note": "pool engages at >= these job counts; the worker sweep "
+                    "below measures where extra workers actually pay off "
+                    "on this machine",
+        },
+        "worker_sweep": sweep,
     }
     with open(report_path, "r", encoding="utf-8") as fh:
         run_report = json.load(fh)
@@ -146,17 +232,21 @@ def main() -> int:
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(result, fh, indent=2)
         fh.write("\n")
-    print(f"speedup: {speedup:.1f}x  ->  {args.out}")
+    print(f"cache speedup: {cache_speedup:.1f}x  "
+          f"batching speedup: {batching_speedup:.1f}x  ->  {args.out}")
 
     failures = []
     if stats["hit_rate"] < 0.95:
         failures.append(f"hit rate {stats['hit_rate']:.4f} < 0.95")
-    if speedup < 10.0:
-        failures.append(f"speedup {speedup:.1f}x < 10x")
+    if cache_speedup < 10.0:
+        failures.append(f"cache speedup {cache_speedup:.1f}x < 10x")
+    if batching_speedup < 3.0:
+        failures.append(f"batching speedup {batching_speedup:.1f}x < 3x")
     if failures:
         print("ACCEPTANCE FAILED: " + "; ".join(failures))
         return 1
-    print("acceptance: hit rate >= 0.95 and speedup >= 10x  [ok]")
+    print("acceptance: hit rate >= 0.95, cache speedup >= 10x, "
+          "batching speedup >= 3x  [ok]")
     return 0
 
 

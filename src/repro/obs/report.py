@@ -102,6 +102,26 @@ def validate_report(payload) -> list[str]:
         if not isinstance(cache, dict) or not {"hits", "misses"} <= cache.keys():
             problems.append("cache must be null or an object with hits/misses")
 
+    # batched-render contract: any run that counted batches must also have
+    # recorded the batch-size histogram, and its observations must account
+    # for every batch (the per-batch latency attribution rides on it)
+    if isinstance(payload.get("counters"), dict) \
+            and isinstance(payload.get("histograms"), dict):
+        batches = payload["counters"].get("render.batches")
+        if batches:
+            batch_hist = payload["histograms"].get("render.batch_size")
+            if not isinstance(batch_hist, dict):
+                problems.append(
+                    "render.batches counted but render.batch_size histogram missing")
+            elif batch_hist.get("count") != batches:
+                problems.append(
+                    "render.batch_size histogram count does not equal render.batches")
+            renders = payload["counters"].get("render.renders")
+            if isinstance(batch_hist, dict) and _is_number(batch_hist.get("sum")) \
+                    and _is_number(renders) and batch_hist["sum"] != renders:
+                problems.append(
+                    "render.batch_size histogram sum does not equal render.renders")
+
     if isinstance(payload.get("node_profile"), dict):
         for stack, nodes in payload["node_profile"].items():
             if not isinstance(nodes, dict):

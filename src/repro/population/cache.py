@@ -108,18 +108,32 @@ class RenderCache:
 
     # -- disk persistence ---------------------------------------------------
     def _load_disk(self) -> None:
+        # a cache file is an optimization, never a dependency: anything
+        # unreadable (missing, truncated by a crash predating the atomic
+        # writer, wrong shape, permission error) degrades to a cold cache
         try:
             with open(self.disk_path, "r", encoding="utf-8") as fh:
                 payload = json.load(fh)
-        except (FileNotFoundError, json.JSONDecodeError):
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
             return
-        for key, value in payload.get("entries", {}).items():
+        if not isinstance(payload, dict):
+            return
+        entries = payload.get("entries")
+        if not isinstance(entries, dict):
+            return
+        for key, value in entries.items():
             if isinstance(key, str) and isinstance(value, str):
                 self._store[key] = value
                 self.record_disk_load()
 
     def persist(self) -> None:
-        """Atomically write the cache to disk (no-op without a disk path)."""
+        """Crash-safely write the cache to disk (no-op without a disk path).
+
+        Writes to a same-directory temp file, fsyncs it, then renames over
+        the target with ``os.replace`` — readers see either the complete
+        old file or the complete new one, never a torn write, even if the
+        process dies mid-persist.
+        """
         if not self.disk_path or self.disabled:
             return
         directory = os.path.dirname(self.disk_path) or "."
@@ -129,6 +143,8 @@ class RenderCache:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(payload, fh)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, self.disk_path)
         except BaseException:
             if os.path.exists(tmp):

@@ -7,23 +7,30 @@ jitter path), the grid collapses to its distinct equivalence classes:
   1. PLAN     — sample the population, then deterministically pre-draw every
                 iteration's jitter path (cheap, no DSP), producing the full
                 item grid plus the set of distinct class keys.
-  2. RENDER   — probe the cache once per class; fan the misses out over a
-                ProcessPoolExecutor (pure functions -> order-independent,
-                bit-identical to serial), then fill the cache.
+  2. RENDER   — probe the cache once per class; group the misses by
+                (vector, stack) and render each group as ONE batched pass
+                through the engine's batch axis (graph built once, all
+                jitter paths rendered together — bit-identical to per-class
+                renders, pinned by tests). Groups fan out over a
+                ProcessPoolExecutor as few, fat tasks.
   3. ASSEMBLE — build the per-user series by cache lookup only.
 
 With the cache disabled the driver degrades to the honest baseline: one
-real render per grid item. ``bench_render_perf.py`` measures the gap.
+real render per grid item (still batched by group unless ``batched=False``,
+which restores the one-task-per-class path the benchmark uses as its
+serial comparison baseline). ``bench_render_perf.py`` measures both gaps.
 
 Observability (repro.obs) is threaded through all three phases but is
 off by default: the ``recorder`` defaults to the null object, render
 jobs carry measure=0, and no per-render recorder call is ever made — the
 dataset is bit-identical either way. When a ``Recorder`` is active (or
-``report_path`` is set), each phase runs under a span, every render job
-is timed, the first job per (vector, stack) pair additionally runs under
-the per-node profiler, and pool workers return their measurements as a
-plain dict riding next to the eFP — the parent folds those into its own
-recorder, so aggregate counters are identical at any worker count.
+``report_path`` is set), each batch is timed (``render.batch_size``
+histogram + per-batch wall clock, plus per-render amortized latency so
+per-vector histograms keep one observation per render), the first batch
+per (vector, stack) pair additionally runs under the per-node profiler,
+and pool workers return their measurements as a plain dict riding next
+to the eFPs — the parent folds those into its own recorder, so aggregate
+counters are identical at any worker count.
 """
 from __future__ import annotations
 
@@ -44,7 +51,19 @@ from .device import Device
 from .sampler import sample_population
 
 _STUDY_STREAM = 0x57D  # per-user jitter streams, disjoint from the sampler's
-_POOL_THRESHOLD = 24   # below this many misses, process-pool overhead loses
+
+#: Pool engagement thresholds, measured by benchmarks/bench_render_perf.py
+#: (see the "pool" section of BENCH_render.json — the worker sweep records
+#: where process-pool overhead actually pays off on this workload):
+#: below these job counts, fork + pickle overhead loses to inline rendering.
+_POOL_THRESHOLD = 24        # per-class jobs (batched=False path)
+_POOL_GROUP_THRESHOLD = 4   # batch groups are fatter, so fewer justify a pool
+
+#: Batch rows per engine pass. Caps the working set of a batched render
+#: ((B, channels, 5000) float64 blocks plus the analyser history) while
+#: keeping the interpreter amortization; row results are independent, so
+#: splitting a group across sub-batches cannot change any eFP.
+_MAX_BATCH = 256
 
 #: measure levels carried by each render job
 _MEASURE_OFF = 0    # bare render, metrics slot is None
@@ -83,8 +102,40 @@ def _render_class(job: tuple[str, str, AudioStack, str, int]):
     return key, efp, metrics
 
 
+def _render_group(job: tuple[str, AudioStack, list, int]):
+    """Pool worker: render one (vector, stack) batch group in a single
+    batched engine pass. Top-level for pickling.
+
+    Returns ``(pairs, metrics)`` where pairs is ``[(key, efp), ...]`` in
+    member order and metrics is None unless the job asked to be measured.
+    """
+    vector_name, stack, members, measure = job
+    keys = [key for key, _ in members]
+    paths = [path for _, path in members]
+    vector = get_vector(vector_name)
+    if not measure:
+        return list(zip(keys, vector.render_batch(stack, paths))), None
+    start = time.perf_counter()
+    if measure >= _MEASURE_NODES:
+        with profile_nodes() as profiler:
+            efps = vector.render_batch(stack, paths)
+    else:
+        profiler = None
+        efps = vector.render_batch(stack, paths)
+    metrics = {
+        "vector": vector_name,
+        "stack": stack.cache_key(),
+        "wall_s": time.perf_counter() - start,
+        "batch_size": len(members),
+    }
+    if profiler is not None:
+        metrics["nodes"] = profiler.seconds
+        metrics["node_calls"] = profiler.calls
+    return list(zip(keys, efps)), metrics
+
+
 def _make_jobs(keyed_classes, measuring: bool):
-    """Attach a measure level to each (key, class) pair.
+    """Per-class jobs: attach a measure level to each (key, class) pair.
 
     When measuring, every job is timed and the first job per distinct
     (vector, stack) pair also carries the per-node profiler — planning
@@ -107,11 +158,68 @@ def _make_jobs(keyed_classes, measuring: bool):
     return jobs
 
 
+def _group_jobs(keyed_classes, measuring: bool):
+    """Batch-group jobs: group classes by (vector, stack), split at
+    ``_MAX_BATCH`` rows, attach measure levels.
+
+    Grouping preserves plan order (first-seen group order, member order
+    within a group), so the job list — and with it the profiled set and
+    every aggregate counter — is identical at any worker count. When
+    measuring, every batch is timed and the first batch per (vector,
+    stack) pair also carries the per-node profiler.
+    """
+    groups: dict[tuple[str, str], tuple[str, AudioStack, list]] = {}
+    for key, (vector_name, stack, path) in keyed_classes:
+        entry = groups.setdefault((vector_name, stack.cache_key()),
+                                  (vector_name, stack, []))
+        entry[2].append((key, path))
+    jobs = []
+    for vector_name, stack, members in groups.values():
+        first = True
+        for lo in range(0, len(members), _MAX_BATCH):
+            if not measuring:
+                measure = _MEASURE_OFF
+            elif first:
+                measure = _MEASURE_NODES
+            else:
+                measure = _MEASURE_TIME
+            first = False
+            jobs.append((vector_name, stack, members[lo:lo + _MAX_BATCH],
+                         measure))
+    return jobs
+
+
 def _absorb_metrics(recorder, metrics: dict) -> None:
     """Fold one worker-returned metrics snapshot into the parent recorder."""
     recorder.count("render.renders")
     recorder.observe(f"render.latency_s.{metrics['vector']}", metrics["wall_s"])
     recorder.observe("pool.task_wall_s", metrics["wall_s"])
+    if "nodes" in metrics:
+        recorder.count("render.profiled_renders")
+        recorder.record_node_profile(metrics["stack"], metrics["nodes"],
+                                     metrics["node_calls"])
+
+
+def _absorb_batch_metrics(recorder, metrics: dict) -> None:
+    """Fold one batch-group metrics snapshot into the parent recorder.
+
+    Per-vector latency histograms keep one observation per *render* (the
+    batch wall clock amortized over its rows), so their counts still equal
+    the render count; the batch-level cost lands in ``render.batch_size``
+    and ``render.batch_wall_s.<vector>`` — together they show the
+    amortization directly.
+    """
+    size = metrics["batch_size"]
+    wall = metrics["wall_s"]
+    vector = metrics["vector"]
+    recorder.count("render.renders", size)
+    recorder.count("render.batches")
+    recorder.observe("render.batch_size", size)
+    recorder.observe(f"render.batch_wall_s.{vector}", wall)
+    amortized = wall / size
+    for _ in range(size):
+        recorder.observe(f"render.latency_s.{vector}", amortized)
+    recorder.observe("pool.task_wall_s", wall)
     if "nodes" in metrics:
         recorder.count("render.profiled_renders")
         recorder.record_node_profile(metrics["stack"], metrics["nodes"],
@@ -147,21 +255,22 @@ def _plan(devices: list[Device], vectors: tuple[str, ...], iterations: int,
     return item_keys, classes
 
 
-def _render_jobs(jobs, workers: int, pooled: bool, chunk: int):
-    """Render measure-tagged jobs, pooled when it pays off."""
+def _render_jobs(worker, jobs, workers: int, pooled: bool, chunk: int):
+    """Run measure-tagged jobs through ``worker``, pooled when it pays off."""
     if pooled:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            yield from pool.map(_render_class, jobs, chunksize=chunk)
+            yield from pool.map(worker, jobs, chunksize=chunk)
     else:
         for job in jobs:
-            yield _render_class(job)
+            yield worker(job)
 
 
 def run_study(user_count: int, iterations: int = 30,
               vectors: tuple[str, ...] = ("dc", "fft", "hybrid"),
               seed: int = 2021, cache: RenderCache | None = None,
               workers: int | None = None, recorder=None,
-              report_path: str | None = None) -> StudyDataset:
+              report_path: str | None = None,
+              batched: bool = True) -> StudyDataset:
     """Run the synthetic study and return its dataset.
 
     ``workers``: None = auto (cpu count, capped at 8), 0 = render inline.
@@ -170,8 +279,11 @@ def run_study(user_count: int, iterations: int = 30,
     ``report_path`` is set, which implies a fresh recorder.
     ``report_path``: write a machine-readable run report (see repro.obs)
     here after the study completes.
+    ``batched``: True (default) renders cache misses grouped by
+    (vector, stack) through the engine's batch axis; False renders one
+    class per task — the serial baseline the benchmark compares against.
     Results are bit-identical regardless of worker count, cache state,
-    or observability.
+    batching, or observability.
     """
     for name in vectors:
         get_vector(name)  # fail fast on unknown vectors
@@ -203,14 +315,31 @@ def run_study(user_count: int, iterations: int = 30,
             with recorder.span("probe"):
                 keyed = [(key, classes[key])
                          for key in classes if cache.get(key) is None]
-        jobs = _make_jobs(keyed, measuring)
-        pooled = bool(workers and workers > 1 and len(jobs) >= _POOL_THRESHOLD)
+        if batched:
+            jobs = _group_jobs(keyed, measuring)
+            threshold = _POOL_GROUP_THRESHOLD
+            worker, absorb = _render_group, _absorb_batch_metrics
+        else:
+            jobs = _make_jobs(keyed, measuring)
+            threshold = _POOL_THRESHOLD
+            worker, absorb = _render_class, _absorb_metrics
+        pooled = bool(workers and workers > 1 and len(jobs) >= threshold)
+        # chunksize over the job list that actually exists: batch groups
+        # are few and fat, so small job counts get chunk 1 and stay evenly
+        # spread across workers instead of clumping on one
         chunk = max(1, len(jobs) // (workers * 4)) if pooled else 1
         rendered: dict[str, str] = {}
-        for key, efp, metrics in _render_jobs(jobs, workers, pooled, chunk):
-            rendered[key] = efp
-            if metrics is not None:
-                _absorb_metrics(recorder, metrics)
+        if batched:
+            for pairs, metrics in _render_jobs(worker, jobs, workers, pooled, chunk):
+                for key, efp in pairs:
+                    rendered[key] = efp
+                if metrics is not None:
+                    absorb(recorder, metrics)
+        else:
+            for key, efp, metrics in _render_jobs(worker, jobs, workers, pooled, chunk):
+                rendered[key] = efp
+                if metrics is not None:
+                    absorb(recorder, metrics)
         if not cache.disabled:
             for key, efp in rendered.items():
                 cache.put(key, efp)
@@ -223,6 +352,7 @@ def run_study(user_count: int, iterations: int = 30,
         lanes = workers if pooled else 1
         pool_info = {
             "workers": workers, "pooled": pooled, "jobs": len(jobs),
+            "batched": batched,
             "chunksize": chunk if pooled else None,
             "busy_s": round(busy_s, 6),
             "utilization": round(busy_s / (render_span.duration_s * lanes), 4)

@@ -24,7 +24,8 @@ def digest(payload) -> str:
 
 
 class AudioVector:
-    """Base class. Subclasses implement ``_features(stack, jitter_path)``."""
+    """Base class. Subclasses implement ``_features(stack, jitter_path)``
+    and (for true batching) ``_features_batch(stack, jitters)``."""
 
     name = "abstract"
     #: vectors that never touch the AnalyserNode ignore the jitter path
@@ -35,6 +36,23 @@ class AudioVector:
         path = self.canonical_path(jitter_path)
         jitter = parse_path(path) if self.uses_analyser else None
         return digest(self._features(stack, jitter))
+
+    def render_batch(self, stack, jitter_paths) -> list[str]:
+        """Batched pure render: one graph build + one quantum-loop pass for
+        all paths of a (vector, stack) group. Returns one eFP per path,
+        bit-identical to ``render(stack, path)`` of each path alone —
+        batch rows never interact (pinned by tests)."""
+        if not jitter_paths:
+            return []
+        paths = [self.canonical_path(p) for p in jitter_paths]
+        jitters = [parse_path(p) if self.uses_analyser else None
+                   for p in paths]
+        return [digest(f) for f in self._features_batch(stack, jitters)]
+
+    def _features_batch(self, stack, jitters):
+        """Fallback: per-class loop. Subclasses override with a single
+        batched render through the engine's batch axis."""
+        return [self._features(stack, jitter) for jitter in jitters]
 
     def canonical_path(self, jitter_path: str | None) -> str:
         """The path component of this vector's cache key."""

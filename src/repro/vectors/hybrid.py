@@ -13,9 +13,8 @@ class HybridVector(AudioVector):
     name = "hybrid"
     uses_analyser = True
 
-    def _features(self, stack, jitter):
-        context = OfflineAudioContext(1, RENDER_LENGTH, stack.sample_rate,
-                                      config=stack.realize(jitter))
+    @staticmethod
+    def _build(context):
         oscillator = context.create_oscillator()
         oscillator.type = "triangle"
         oscillator.frequency.value = 10000.0
@@ -26,5 +25,20 @@ class HybridVector(AudioVector):
         oscillator.connect(compressor).connect(analyser).connect(sink) \
             .connect(context.destination)
         oscillator.start(0.0)
+        return analyser
+
+    def _features(self, stack, jitter):
+        context = OfflineAudioContext(1, RENDER_LENGTH, stack.sample_rate,
+                                      config=stack.realize(jitter))
+        analyser = self._build(context)
         context.start_rendering()
         return analyser.get_float_frequency_data()
+
+    def _features_batch(self, stack, jitters):
+        context = OfflineAudioContext(1, RENDER_LENGTH, stack.sample_rate,
+                                      config=stack.realize(),
+                                      batch_size=len(jitters))
+        analyser = self._build(context)
+        context.start_rendering_batch()
+        rows = analyser.get_float_frequency_data_batch(jitters)
+        return [rows[b] for b in range(rows.shape[0])]

@@ -1,11 +1,19 @@
 """AnalyserNode: Blackman window + pluggable FFT + dB conversion.
 
 This is the node the paper's fickleness phenomenology lives in: the
-windowed frames pass through the engine config's jitter transform
-(denormal-flush / fused-multiply / float32-precision sub-paths) and the
-readout window can be shifted by a load-dependent timing bucket — so the
-same stack produces different frequency data under different load states,
-while the DC vector (which never touches the analyser) stays bit-stable.
+windowed frames pass through a jitter transform (denormal-flush /
+fused-multiply / float32-precision sub-paths) and the readout window can
+be shifted by a load-dependent timing bucket — so the same stack
+produces different frequency data under different load states, while
+the DC vector (which never touches the analyser) stays bit-stable.
+
+The readout is where batch rows diverge: the quantum loop itself is
+jitter-independent, so a batched render accumulates one shared history
+per row and then applies each row's readout offset and jitter transform
+individually, finishing with ONE batched FFT over all rows — the FFT
+backends' per-stage Python overhead (the dominant cost for the
+recursive split-radix kernel) is paid once per batch instead of once
+per class.
 """
 from __future__ import annotations
 
@@ -26,9 +34,9 @@ class AnalyserNode(AudioNode):
         self.smoothing_time_constant = 0.8
         self.min_decibels = -100.0
         self.max_decibels = -30.0
-        self._history: list[np.ndarray] = []
+        self._history: list[np.ndarray] = []  # (B, n) mono blocks
         self._history_len = 0
-        self._previous_smoothed: np.ndarray | None = None
+        self._previous_smoothed: np.ndarray | None = None  # (B, bins)
 
     @property
     def fft_size(self) -> int:
@@ -46,43 +54,63 @@ class AnalyserNode(AudioNode):
 
     def process_block(self, inputs, frame0, n):
         block = inputs[0]
-        self._history.append(mix_to_channels(block, 1)[0].copy())
+        self._history.append(mix_to_channels(block, 1)[:, 0, :].copy())
         self._history_len += n
         return block  # pass-through
 
     # -- readout ------------------------------------------------------------
-    def _time_domain(self) -> np.ndarray:
+    def _time_domain_batch(self, offsets) -> np.ndarray:
+        """Per-row time-domain windows: row b's window is shifted back by
+        ``offsets[b]`` frames. Returns (B, fft_size)."""
         size = self._fft_size
-        offset = int(self.context.config.readout_offset)
-        data = np.concatenate(self._history) if self._history else np.zeros(0)
-        end = max(0, data.shape[0] - offset)
-        start = end - size
-        if start < 0:
-            return np.concatenate([np.zeros(-start), data[:end]])
-        return data[start:end]
+        if self._history:
+            data = np.concatenate(self._history, axis=-1)
+        else:
+            data = np.zeros((self.context.batch_size, 0), dtype=np.float64)
+        rows = []
+        for b, offset in enumerate(offsets):
+            row = data[b]
+            end = max(0, row.shape[0] - int(offset))
+            start = end - size
+            if start < 0:
+                rows.append(np.concatenate([np.zeros(-start), row[:end]]))
+            else:
+                rows.append(row[start:end])
+        return np.stack(rows)
 
     def get_float_time_domain_data(self) -> np.ndarray:
-        return self._time_domain()
+        return self._time_domain_batch([int(self.context.config.readout_offset)]
+                                       * self.context.batch_size)[0]
 
     def _blackman(self, math) -> np.ndarray:
         n = np.arange(self._fft_size, dtype=np.float64)
         phase = 2.0 * np.pi * n / self._fft_size
         return 0.42 - 0.5 * math.cos(phase) + 0.08 * math.cos(2.0 * phase)
 
-    def get_float_frequency_data(self) -> np.ndarray:
+    def _frequency_data(self, offsets, transforms) -> np.ndarray:
+        """The shared readout core: per-row window + jitter, batched FFT.
+
+        ``offsets[b]`` / ``transforms[b]`` are row b's readout shift and
+        jitter transform (None = identity). Returns (B, bins) dB data.
+        The jitter transforms are applied per row on 1-D slices, so each
+        row sees exactly the arithmetic the single-render path performs.
+        """
         cfg = self.context.config
         math = cfg.math
-        frames = self._time_domain() * self._blackman(math)
-        if cfg.jitter_transform is not None:
-            frames = cfg.jitter_transform(frames)
+        frames = self._time_domain_batch(offsets) * self._blackman(math)
+        if any(t is not None for t in transforms):
+            frames = np.stack([
+                t(frames[b]) if t is not None else frames[b]
+                for b, t in enumerate(transforms)
+            ])
         profiler = current_node_profiler()
         if profiler is None:
-            spectrum = cfg.fft.fft(frames)[: self.frequency_bin_count]
+            spectrum = cfg.fft.fft(frames)[..., : self.frequency_bin_count]
         else:
             # attribute the transform itself to its backend, so hot-node
             # reports split Analyser bookkeeping from FFT kernel time
             start = time.perf_counter()
-            spectrum = cfg.fft.fft(frames)[: self.frequency_bin_count]
+            spectrum = cfg.fft.fft(frames)[..., : self.frequency_bin_count]
             profiler.add(f"fft:{cfg.fft.name}", time.perf_counter() - start)
         magnitude = np.abs(spectrum) / self._fft_size
 
@@ -92,6 +120,28 @@ class AnalyserNode(AudioNode):
         self._previous_smoothed = magnitude
 
         return 20.0 * math.log10(np.maximum(magnitude, 1e-40))
+
+    def get_float_frequency_data(self) -> np.ndarray:
+        """Single readout (batch size 1) driven by the context config's
+        jitter fields — the classic per-class render path."""
+        cfg = self.context.config
+        if self.context.batch_size != 1:
+            raise ValueError(
+                "get_float_frequency_data() requires batch_size == 1; "
+                "use get_float_frequency_data_batch() for batched contexts")
+        return self._frequency_data([int(cfg.readout_offset)],
+                                    [cfg.jitter_transform])[0]
+
+    def get_float_frequency_data_batch(self, jitters) -> np.ndarray:
+        """Batched readout: ``jitters[b]`` is row b's JitterPath (or None
+        for the reference path). Returns (B, bins)."""
+        if len(jitters) != self.context.batch_size:
+            raise ValueError(
+                f"expected {self.context.batch_size} jitter entries, "
+                f"got {len(jitters)}")
+        offsets = [j.readout_offset if j is not None else 0 for j in jitters]
+        transforms = [j.transform if j is not None else None for j in jitters]
+        return self._frequency_data(offsets, transforms)
 
     def get_byte_frequency_data(self) -> np.ndarray:
         db = self.get_float_frequency_data()

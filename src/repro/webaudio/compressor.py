@@ -36,7 +36,8 @@ class DynamicsCompressorNode(AudioNode):
         self.attack = p.attack_s
         self.release = p.release_s
         self._makeup_exponent = p.makeup_exponent
-        self._envelope = 0.0
+        #: per-row envelope state — every batch row compresses independently
+        self._envelope = np.zeros(context.batch_size, dtype=np.float64)
         self.reduction = 0.0  # dB, most recent block (informational, like the spec attr)
 
         math = context.config.math
@@ -61,26 +62,35 @@ class DynamicsCompressorNode(AudioNode):
         return np.where(x_db < lo, x_db, np.where(x_db > hi, above, in_knee))
 
     @staticmethod
-    def _one_pole_scan(x: np.ndarray, a: float, y0: float) -> np.ndarray:
-        """Closed-form y[n] = a*y[n-1] + (1-a)*x[n], whole block at once."""
-        n = x.shape[0]
+    def _one_pole_scan(x: np.ndarray, a: np.ndarray, y0: np.ndarray) -> np.ndarray:
+        """Closed-form y[n] = a*y[n-1] + (1-a)*x[n], whole block at once.
+
+        ``x`` is (B, n); ``a`` and ``y0`` are (B, 1) per-row coefficients and
+        initial states. Every step is an elementwise ufunc or a last-axis
+        cumsum, so each row equals the scalar-coefficient scan of that row.
+        """
+        n = x.shape[-1]
         k = np.arange(n, dtype=np.float64)
         apow = a ** k
-        s = np.cumsum(x / apow)
+        s = np.cumsum(x / apow, axis=-1)
         return (a * apow) * y0 + (1.0 - a) * apow * s
 
     def process_block(self, inputs, frame0, n):
         x = inputs[0]
         math = self.context.config.math
 
-        level = np.abs(mix_to_channels(x, 1)[0])
-        peak = float(level.max()) if n else 0.0
-        coef = self._attack_coef if peak > self._envelope else self._release_coef
-        env = self._one_pole_scan(level, coef, self._envelope)
-        self._envelope = float(env[-1])
+        level = np.abs(mix_to_channels(x, 1)[:, 0, :])       # (B, n)
+        peak = level.max(axis=-1)                            # (B,)
+        # attack vs release from the block peak: one comparison per row per
+        # *block*, never per sample — exactly the scalar path, vectorized
+        coef = np.where(peak > self._envelope,
+                        self._attack_coef, self._release_coef)[:, None]
+        env = self._one_pole_scan(level, coef, self._envelope[:, None])
+        self._envelope = env[:, -1].copy()
 
         env_db = 20.0 * math.log10(np.maximum(env, _DB_FLOOR))
         gain_db = self._curve_db(env_db, math) - env_db
-        self.reduction = float(gain_db.min()) if n else 0.0
+        reduction = gain_db.min(axis=-1)
+        self.reduction = float(reduction[0]) if reduction.shape[0] == 1 else reduction
         gain_lin = math.pow(10.0, gain_db / 20.0) * self._makeup
-        return x * gain_lin[None, :]
+        return x * gain_lin[:, None, :]

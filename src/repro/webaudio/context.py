@@ -1,4 +1,14 @@
-"""OfflineAudioContext: the 128-frame-quantum block renderer."""
+"""OfflineAudioContext: the 128-frame-quantum block renderer.
+
+The renderer carries a batch axis end to end: every node produces
+``(batch_size, channels, frames)`` blocks, so one graph build and one
+quantum-loop pass render ``batch_size`` independent equivalence classes
+at once. All per-quantum interpreter overhead (the Python loop, the
+topological dispatch, the mixing calls) is paid once per *batch* instead
+of once per render — the NumPy kernels below it are elementwise or
+fixed-axis reductions, so each batch row is bit-identical to rendering
+that row alone with ``batch_size == 1`` (pinned by tests).
+"""
 from __future__ import annotations
 
 import time
@@ -24,14 +34,18 @@ class DestinationNode(AudioNode):
 
 class OfflineAudioContext:
     def __init__(self, number_of_channels: int, length: int, sample_rate: float,
-                 config: EngineConfig | None = None):
+                 config: EngineConfig | None = None, batch_size: int = 1):
         if length <= 0:
             raise ValueError("length must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
         self.length = int(length)
         self.sample_rate = float(sample_rate)
+        self.batch_size = int(batch_size)
         self.config = config if config is not None else EngineConfig.default()
         self._nodes: list[AudioNode] = []
         self._rendered: AudioBuffer | None = None
+        self._rendered_batch: np.ndarray | None = None
         self.destination = DestinationNode(self, int(number_of_channels))
 
     # -- node registry ------------------------------------------------------
@@ -60,20 +74,33 @@ class OfflineAudioContext:
 
     @property
     def current_time(self) -> float:
-        return self.length / self.sample_rate if self._rendered else 0.0
+        return self.length / self.sample_rate if self._rendered_batch is not None else 0.0
 
     # -- rendering ----------------------------------------------------------
     def start_rendering(self) -> AudioBuffer:
-        if self._rendered is not None:
-            return self._rendered
+        """Render and return the (channels, length) buffer; batch size 1 only."""
+        if self.batch_size != 1:
+            raise ValueError(
+                "start_rendering() requires batch_size == 1; "
+                "use start_rendering_batch() for batched contexts")
+        if self._rendered is None:
+            self._rendered = AudioBuffer(self.start_rendering_batch()[0],
+                                         self.sample_rate)
+        return self._rendered
+
+    def start_rendering_batch(self) -> np.ndarray:
+        """Render all batch rows at once; returns (B, channels, length)."""
+        if self._rendered_batch is not None:
+            return self._rendered_batch
         order = topological_order(self._nodes)
+        batch = self.batch_size
         channels = self.destination.channel_count
-        out = np.zeros((channels, self.length), dtype=np.float64)
+        out = np.zeros((batch, channels, self.length), dtype=np.float64)
         quantum = RENDER_QUANTUM_FRAMES
         block_out: dict[AudioNode, np.ndarray] = {}
         # Profiling duplicates the quantum loop rather than branching inside
-        # it: the unprofiled path (the default) must stay exactly the seed's
-        # hot loop, and the numeric operations are identical either way.
+        # it: the unprofiled path (the default) must stay exactly the hot
+        # loop, and the numeric operations are identical either way.
         profiler = current_node_profiler()
         if profiler is None:
             for frame0 in range(0, self.length, quantum):
@@ -81,11 +108,11 @@ class OfflineAudioContext:
                 block_out.clear()
                 for node in order:
                     ins = [
-                        mix_sources([block_out[s] for s in port], n)
+                        mix_sources([block_out[s] for s in port], batch, n)
                         for port in node._inputs
                     ]
                     block_out[node] = node.process_block(ins, frame0, n)
-                out[:, frame0:frame0 + n] = block_out[self.destination][:, :n]
+                out[:, :, frame0:frame0 + n] = block_out[self.destination][..., :n]
         else:
             labels = {node: node_label(node) for node in order}
             for frame0 in range(0, self.length, quantum):
@@ -94,11 +121,11 @@ class OfflineAudioContext:
                 for node in order:
                     start = time.perf_counter()
                     ins = [
-                        mix_sources([block_out[s] for s in port], n)
+                        mix_sources([block_out[s] for s in port], batch, n)
                         for port in node._inputs
                     ]
                     block_out[node] = node.process_block(ins, frame0, n)
                     profiler.add(labels[node], time.perf_counter() - start)
-                out[:, frame0:frame0 + n] = block_out[self.destination][:, :n]
-        self._rendered = AudioBuffer(out, self.sample_rate)
-        return self._rendered
+                out[:, :, frame0:frame0 + n] = block_out[self.destination][..., :n]
+        self._rendered_batch = out
+        return self._rendered_batch

@@ -9,6 +9,14 @@ paper identifies as a causal factor of fingerprint diversity (§5).
 All backends accept arbitrary sizes: powers of two go through the
 backend's own core, everything else through the Bluestein chirp-z
 transform built on that core.
+
+Every backend transforms the LAST axis and accepts arbitrary leading
+(batch) axes: ``fft((B, n))`` computes B independent n-point DFTs in
+one call, with each row bit-identical to ``fft((n,))`` of that row —
+all stage arithmetic is elementwise, so adding a leading axis never
+reorders a single floating-point operation. Batching matters most for
+the recursive split-radix kernel, whose per-stage Python overhead
+(~2n recursive calls) is paid once per *batch* instead of once per row.
 """
 from __future__ import annotations
 
@@ -32,17 +40,21 @@ def _bit_reverse_indices(n: int) -> np.ndarray:
 
 
 def _fft_iterative_radix2(x: np.ndarray, twiddle_dtype=np.complex128) -> np.ndarray:
-    """Iterative Cooley-Tukey decimation-in-time; vectorized per stage."""
-    n = x.shape[0]
-    a = np.asarray(x, dtype=np.complex128)[_bit_reverse_indices(n)]
+    """Iterative Cooley-Tukey decimation-in-time; vectorized per stage.
+
+    Transforms the last axis; leading axes are independent batch rows.
+    """
+    n = x.shape[-1]
+    lead = x.shape[:-1]
+    a = np.asarray(x, dtype=np.complex128)[..., _bit_reverse_indices(n)]
     size = 2
     while size <= n:
         half = size // 2
         tw = np.exp(-2j * np.pi * np.arange(half) / size).astype(twiddle_dtype)
-        a = a.reshape(-1, size)
-        even = a[:, :half]
-        odd = a[:, half:] * tw
-        a = np.concatenate([even + odd, even - odd], axis=1).reshape(-1)
+        a = a.reshape(*lead, n // size, size)
+        even = a[..., :half]
+        odd = a[..., half:] * tw
+        a = np.concatenate([even + odd, even - odd], axis=-1).reshape(*lead, n)
         size *= 2
     return a
 
@@ -64,7 +76,11 @@ def _fft_recursive(x: np.ndarray) -> np.ndarray:
 
 
 class FFTBackend:
-    """Base class. Subclasses implement ``_fft_pow2``; any size works."""
+    """Base class. Subclasses implement ``_fft_pow2``; any size works.
+
+    ``fft`` transforms the last axis; arbitrary leading batch axes are
+    carried through every kernel untouched.
+    """
 
     name = "abstract"
     #: max relative error vs numpy.fft.fft expected on well-scaled input
@@ -72,9 +88,9 @@ class FFTBackend:
 
     def fft(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x)
-        n = x.shape[0]
+        n = x.shape[-1]
         if n == 0:
-            return np.zeros(0, dtype=np.complex128)
+            return np.zeros(x.shape, dtype=np.complex128)
         if _is_pow2(n):
             return self._fft_pow2(x)
         return self._bluestein(x)
@@ -83,23 +99,23 @@ class FFTBackend:
         raise NotImplementedError
 
     def _ifft_pow2(self, x: np.ndarray) -> np.ndarray:
-        return np.conj(self._fft_pow2(np.conj(x))) / x.shape[0]
+        return np.conj(self._fft_pow2(np.conj(x))) / x.shape[-1]
 
     def _bluestein(self, x: np.ndarray) -> np.ndarray:
         """Chirp-z transform: any-size DFT via one power-of-two convolution."""
-        n = x.shape[0]
+        n = x.shape[-1]
         k = np.arange(n, dtype=np.int64)
         # k*k mod 2n keeps the chirp argument small and exact in float64
         w = np.exp(-1j * np.pi * ((k * k) % (2 * n)) / n)
         m = 1 << (2 * n - 1).bit_length()
-        a = np.zeros(m, dtype=np.complex128)
-        a[:n] = np.asarray(x, dtype=np.complex128) * w
+        a = np.zeros((*x.shape[:-1], m), dtype=np.complex128)
+        a[..., :n] = np.asarray(x, dtype=np.complex128) * w
         b = np.zeros(m, dtype=np.complex128)
         chirp_conj = np.conj(w)
         b[:n] = chirp_conj
         b[m - n + 1:] = chirp_conj[1:][::-1]
         conv = self._ifft_pow2(self._fft_pow2(a) * self._fft_pow2(b))
-        return conv[:n] * w
+        return conv[..., :n] * w
 
 
 class NumpyFFT(FFTBackend):
@@ -110,8 +126,8 @@ class NumpyFFT(FFTBackend):
 
     def fft(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x)
-        if x.shape[0] == 0:
-            return np.zeros(0, dtype=np.complex128)
+        if x.shape[-1] == 0:
+            return np.zeros(x.shape, dtype=np.complex128)
         return np.fft.fft(x)
 
     def _fft_pow2(self, x: np.ndarray) -> np.ndarray:
@@ -149,8 +165,8 @@ class BluesteinFFT(FFTBackend):
 
     def fft(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x)
-        if x.shape[0] == 0:
-            return np.zeros(0, dtype=np.complex128)
+        if x.shape[-1] == 0:
+            return np.zeros(x.shape, dtype=np.complex128)
         return self._bluestein(x)
 
 

@@ -12,4 +12,4 @@ class GainNode(AudioNode):
 
     def process_block(self, inputs, frame0, n):
         g = self.gain.values(frame0, n, self.context.sample_rate)
-        return inputs[0] * g[None, :]
+        return inputs[0] * g  # (n,) broadcasts over (B, channels, n)

@@ -15,7 +15,8 @@ class ChannelMergerNode(AudioNode):
         super().__init__(context)
 
     def process_block(self, inputs, frame0, n):
-        out = np.zeros((self.number_of_inputs, n), dtype=np.float64)
+        out = np.zeros((self.context.batch_size, self.number_of_inputs, n),
+                       dtype=np.float64)
         for port, block in enumerate(inputs):
-            out[port] = mix_to_channels(block, 1)[0]
+            out[:, port] = mix_to_channels(block, 1)[:, 0]
         return out

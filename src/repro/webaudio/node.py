@@ -1,4 +1,13 @@
-"""AudioNode base class: connections and channel mixing."""
+"""AudioNode base class: connections and channel mixing.
+
+All rendering is batched: blocks are ``(B, channels, frames)`` arrays,
+where the batch axis carries independent renders of the *same* graph
+(one row per equivalence class differing only in jitter path). Every
+mixing helper operates on the trailing two axes, so per-row results are
+bit-identical to a ``B == 1`` render of that row alone — elementwise
+ufuncs and fixed-length reductions do not change their evaluation order
+when a leading axis is added.
+"""
 from __future__ import annotations
 
 import numpy as np
@@ -36,37 +45,38 @@ class AudioNode:
     def process_block(self, inputs: list[np.ndarray], frame0: int, n: int) -> np.ndarray:
         """Produce this node's output for frames [frame0, frame0+n).
 
-        ``inputs[port]`` is the already-mixed (channels, n) array for that
-        input port. Must operate on whole blocks (no per-sample loops).
+        ``inputs[port]`` is the already-mixed (B, channels, n) array for
+        that input port. Must return a (B, channels, n) array and operate
+        on whole blocks (no per-sample loops).
         """
         raise NotImplementedError
 
 
-def mix_sources(blocks: list[np.ndarray], n: int) -> np.ndarray:
-    """Sum source outputs with mono up-mix, vectorized."""
+def mix_sources(blocks: list[np.ndarray], batch: int, n: int) -> np.ndarray:
+    """Sum source outputs with mono up-mix, vectorized over the batch."""
     if not blocks:
-        return np.zeros((1, n), dtype=np.float64)
-    channels = max(b.shape[0] for b in blocks)
-    out = np.zeros((channels, n), dtype=np.float64)
+        return np.zeros((batch, 1, n), dtype=np.float64)
+    channels = max(b.shape[-2] for b in blocks)
+    out = np.zeros((batch, channels, n), dtype=np.float64)
     for b in blocks:
-        if b.shape[0] == channels:
+        if b.shape[-2] == channels:
             out += b
-        elif b.shape[0] == 1:
+        elif b.shape[-2] == 1:
             out += b  # broadcast mono across all channels
         else:
-            out[: b.shape[0]] += b
+            out[:, : b.shape[-2]] += b
     return out
 
 
 def mix_to_channels(block: np.ndarray, channels: int) -> np.ndarray:
-    """Up/down-mix a (c, n) block to exactly ``channels`` channels."""
-    c = block.shape[0]
+    """Up/down-mix a (B, c, n) block to exactly ``channels`` channels."""
+    c = block.shape[-2]
     if c == channels:
         return block
     if c == 1:
-        return np.repeat(block, channels, axis=0)
+        return np.repeat(block, channels, axis=-2)
     if channels == 1:
-        return block.mean(axis=0, keepdims=True)
-    out = np.zeros((channels, block.shape[1]), dtype=np.float64)
-    out[: min(c, channels)] = block[: min(c, channels)]
+        return block.mean(axis=-2, keepdims=True)
+    out = np.zeros((block.shape[0], channels, block.shape[-1]), dtype=np.float64)
+    out[:, : min(c, channels)] = block[:, : min(c, channels)]
     return out

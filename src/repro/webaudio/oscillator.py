@@ -59,9 +59,9 @@ class OscillatorNode(AudioNode):
         raise ValueError(f"unknown oscillator type {self.type!r}")
 
     def process_block(self, inputs, frame0, n):
-        out = np.zeros((1, n), dtype=np.float64)
+        batch = self.context.batch_size
         if self._start_frame is None:
-            return out
+            return np.zeros((batch, 1, n), dtype=np.float64)
         fs = self.context.sample_rate
         math = self.context.config.math
 
@@ -84,5 +84,6 @@ class OscillatorNode(AudioNode):
         active = frames >= self._start_frame
         if self._stop_frame is not None:
             active &= frames < self._stop_frame
-        out[0] = np.where(active, signal, 0.0)
-        return out
+        # oscillator params are graph state shared by every batch row, so the
+        # signal is row-uniform: compute it once, hand out a read-only view
+        return np.broadcast_to(np.where(active, signal, 0.0), (batch, 1, n))

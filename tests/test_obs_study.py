@@ -73,7 +73,12 @@ class TestPoolMerge:
                       cache=RenderCache(), workers=workers, recorder=recorder)
             results[workers] = _aggregates(recorder)
         assert results[0] == results[2]
-        assert results[2]["counters"]["pool.jobs"] >= 24  # pool engaged
+        # batched grouping ships one pooled task per (vector, stack) group:
+        # enough groups to engage the pool, and every render accounted for
+        counters = results[2]["counters"]
+        assert counters["pool.jobs"] == counters["render.batches"] >= 4
+        assert results[2]["histogram_counts"]["render.batch_size"] == \
+            counters["render.batches"]
 
 
 class SpyRecorder(NullRecorder):
