@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Collation + entropy analysis benchmark: the paper's §4 measurement
+layer on the default synthetic study (300 users x 30 iterations x 3
+vectors = 27000 grid items; ``--users`` scales it).
+
+Measures, per vector and end-to-end:
+
+  collate   interning + graph edges + union-find + component resolution
+  report    full analysis report build (collation + all entropy/
+            anonymity/stability metrics + combined section)
+
+and verifies the acceptance properties the analysis layer guarantees:
+
+  - stability collapse: every user whose raw series is fickle collates
+    to exactly one id per vector (and fickle users actually exist);
+  - determinism: two report builds of the same dataset serialize to
+    byte-identical JSON;
+  - scaling: collation throughput stays above the acceptance floor
+    (the union-find is linear in grid size — a half-scale run is also
+    timed so the JSON records the growth rate).
+
+Usage: PYTHONPATH=src python benchmarks/bench_collation.py [--users N]
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro import RenderCache, run_study  # noqa: E402
+from repro.analysis import (build_analysis_report, collate,  # noqa: E402
+                            collate_vector, dumps_analysis_report,
+                            validate_analysis_report)
+
+VECTORS = ("dc", "fft", "hybrid")
+
+#: acceptance floor: collation throughput in grid items per second —
+#: generous (measured ~100x higher) but catches accidental quadratic or
+#: per-string work sneaking back into the hot path
+MIN_ITEMS_PER_S = 100_000
+
+
+def _time_collation(dataset) -> tuple[float, dict]:
+    per_vector = {}
+    total = 0.0
+    for name in dataset.vectors:
+        t0 = time.perf_counter()
+        col = collate_vector(dataset, name)
+        wall = time.perf_counter() - t0
+        total += wall
+        per_vector[name] = {
+            "efps": col.efp_count,
+            "edges": col.edge_count,
+            "components": col.component_count,
+            "fickle_users": int((col.raw_distinct_per_user() > 1).sum()),
+            "collate_ms": round(wall * 1e3, 3),
+        }
+    return total, per_vector
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--users", type=int, default=300)
+    parser.add_argument("--iterations", type=int, default=30)
+    parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument("--out",
+                        default=os.path.join(_HERE, "BENCH_collation.json"))
+    args = parser.parse_args()
+
+    grid_items = args.users * args.iterations * len(VECTORS)
+    print(f"workload: {args.users} users x {args.iterations} iterations "
+          f"x {len(VECTORS)} vectors = {grid_items} grid items")
+
+    t0 = time.perf_counter()
+    dataset = run_study(user_count=args.users, iterations=args.iterations,
+                        vectors=VECTORS, seed=args.seed, cache=RenderCache())
+    render_wall = time.perf_counter() - t0
+    print(f"render:  {render_wall:8.2f}s (cached study)")
+
+    collate_wall, per_vector = _time_collation(dataset)
+    print(f"collate: {collate_wall:8.4f}s "
+          f"({grid_items / collate_wall:,.0f} grid items/s)")
+    for name, row in per_vector.items():
+        print(f"  {name:8} efps={row['efps']:<6} edges={row['edges']:<6} "
+              f"components={row['components']:<5} "
+              f"fickle={row['fickle_users']:<5} {row['collate_ms']:8.3f} ms")
+
+    t0 = time.perf_counter()
+    report = build_analysis_report(dataset)
+    report_wall = time.perf_counter() - t0
+    first_bytes = dumps_analysis_report(report)
+    second_bytes = dumps_analysis_report(build_analysis_report(dataset))
+    byte_identical = first_bytes == second_bytes
+    print(f"report:  {report_wall:8.4f}s "
+          f"({len(first_bytes)} bytes, byte_identical={byte_identical})")
+
+    # stability collapse: the acceptance property, checked structurally
+    problems = validate_analysis_report(report)
+    fickle_total = sum(row["fickle_users"] for row in per_vector.values())
+    collapse_ok = all(
+        report["vectors"][name]["stability"]["fickle_users_collapsed"]
+        == report["vectors"][name]["stability"]["raw_fickle_users"]
+        and report["vectors"][name]["stability"]["collated_stable_users"]
+        == args.users
+        for name in VECTORS)
+
+    # half-scale run records the growth rate (linear => ratio ~2)
+    half = run_study(user_count=max(args.users // 2, 1),
+                     iterations=args.iterations, vectors=VECTORS,
+                     seed=args.seed, cache=RenderCache())
+    half_wall, _ = _time_collation(half)
+
+    entropy_summary = {
+        name: {
+            "raw_entropy_bits":
+                report["vectors"][name]["raw"]["first_observation"]["entropy_bits"],
+            "collated_entropy_bits":
+                report["vectors"][name]["collated"]["per_user"]["entropy_bits"],
+            "collated_normalized":
+                report["vectors"][name]["collated"]["per_user"]["normalized_entropy"],
+            "unique_users":
+                report["vectors"][name]["collated"]["per_user"]["unique_ids"],
+        } for name in VECTORS}
+    entropy_summary["combined"] = {
+        "collated_entropy_bits": report["combined"]["collated"]["entropy_bits"],
+        "collated_normalized": report["combined"]["collated"]["normalized_entropy"],
+        "unique_users": report["combined"]["collated"]["unique_ids"],
+    }
+
+    items_per_s = grid_items / collate_wall
+    result = {
+        "benchmark": "bench_collation",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "workload": {
+            "users": args.users,
+            "iterations": args.iterations,
+            "vectors": list(VECTORS),
+            "grid_items": grid_items,
+        },
+        "render_wall_s": round(render_wall, 4),
+        "collate_wall_s": round(collate_wall, 6),
+        "collate_items_per_s": round(items_per_s, 1),
+        "report_wall_s": round(report_wall, 6),
+        "report_bytes": len(first_bytes),
+        "per_vector": per_vector,
+        "entropy": entropy_summary,
+        "half_scale": {
+            "users": max(args.users // 2, 1),
+            "collate_wall_s": round(half_wall, 6),
+            "full_over_half_ratio": round(collate_wall / half_wall, 2)
+            if half_wall > 0 else None,
+        },
+        "stability_collapse_ok": collapse_ok,
+        "fickle_users_total": fickle_total,
+        "report_byte_identical": byte_identical,
+        "schema_problems": problems,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    print(f"-> {args.out}")
+
+    failures = []
+    if problems:
+        failures.append(f"report failed schema check: {problems[:3]}")
+    if not byte_identical:
+        failures.append("analysis report is not byte-deterministic")
+    if not collapse_ok:
+        failures.append("a fickle user did not collapse to one collated id")
+    if fickle_total == 0:
+        failures.append("no fickle users in the default study "
+                        "(stability claim would be vacuous)")
+    if items_per_s < MIN_ITEMS_PER_S:
+        failures.append(f"collation {items_per_s:,.0f} items/s "
+                        f"< {MIN_ITEMS_PER_S:,} floor")
+    if failures:
+        print("ACCEPTANCE FAILED: " + "; ".join(failures))
+        return 1
+    print(f"acceptance: collapse ok, byte-identical, "
+          f">= {MIN_ITEMS_PER_S:,} items/s  [ok]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,10 +6,13 @@ Top-level convenience surface; the layers live in:
   repro.platform    platform stacks, math/FFT variants, jitter model
   repro.vectors     fingerprinting vectors (pure render functions)
   repro.population  sampler, equivalence-class render cache, study runner
+  repro.analysis    fingerprint-graph collation + entropy/anonymity
+                    analysis (the paper's §4 measurement layer)
   repro.obs         observability: span tracer, metrics, node profiler,
                     run reports (zero-dependency, off by default)
 """
 
+from .analysis import build_analysis_report, collate  # noqa: F401
 from .obs import NullRecorder, Recorder  # noqa: F401
 from .population import RenderCache, StudyDataset, run_study  # noqa: F401
 from .webaudio import OfflineAudioContext  # noqa: F401
@@ -17,4 +20,5 @@ from .webaudio import OfflineAudioContext  # noqa: F401
 __version__ = "0.1.0"
 
 __all__ = ["run_study", "RenderCache", "StudyDataset", "OfflineAudioContext",
+           "collate", "build_analysis_report",
            "Recorder", "NullRecorder", "__version__"]

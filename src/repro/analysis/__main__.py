@@ -1,0 +1,92 @@
+"""``python -m repro.analysis`` — dataset in, metrics report out.
+
+Consumes a ``StudyDataset`` JSON (as written by ``StudyDataset.save``,
+validated on load), collates every vector, and emits the deterministic
+analysis report: to ``--out`` via the crash-safe atomic writer, or to
+stdout. The same dataset always produces byte-identical report files.
+
+``--timings`` runs the pipeline under a live ``repro.obs`` recorder and
+prints phase spans (load/collate/entropy/combine) and collation counters
+to stderr — timings never enter the report itself, which must stay a
+pure function of the dataset.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..io import atomic_write_text
+from ..obs import NULL_RECORDER, Recorder
+from ..population.dataset import StudyDataset
+from .report import (build_analysis_report, dumps_analysis_report,
+                     render_analysis_report, validate_analysis_report)
+
+
+def _print_timings(recorder: Recorder) -> None:
+    for span in recorder.spans:
+        attrs = span.get("attrs", {})
+        label = span["name"] + (
+            f"[{attrs['vector']}]" if "vector" in attrs else "")
+        print(f"  span {label:<24} {span['duration_s'] * 1e3:9.3f} ms",
+              file=sys.stderr)
+    for name, value in sorted(recorder.counters.items()):
+        print(f"  counter {name:<21} {value:g}", file=sys.stderr)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Collate a StudyDataset and emit the entropy/anonymity "
+                    "analysis report (deterministic JSON).")
+    parser.add_argument("dataset", help="path to a StudyDataset JSON file")
+    parser.add_argument("--out", help="write the report here (atomic write); "
+                                      "default: print JSON to stdout")
+    parser.add_argument("--check", action="store_true",
+                        help="build and validate only; print nothing on "
+                             "success unless --out is also given")
+    parser.add_argument("--render", action="store_true",
+                        help="print the human-readable tables instead of JSON")
+    parser.add_argument("--timings", action="store_true",
+                        help="print repro.obs spans/counters to stderr")
+    args = parser.parse_args(argv)
+
+    recorder = Recorder() if args.timings else NULL_RECORDER
+    try:
+        with recorder.span("load"):
+            dataset = StudyDataset.load(args.dataset)
+    except FileNotFoundError:
+        print(f"error: no dataset at {args.dataset}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.dataset} is not valid JSON: {exc}",
+              file=sys.stderr)
+        return 2
+    except (ValueError, KeyError) as exc:
+        print(f"error: {args.dataset} is not a valid StudyDataset: {exc}",
+              file=sys.stderr)
+        return 2
+
+    report = build_analysis_report(dataset, recorder=recorder)
+    problems = validate_analysis_report(report)
+    if problems:
+        print("error: built report failed its own schema check:",
+              file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 2
+
+    if args.out:
+        atomic_write_text(args.out, dumps_analysis_report(report))
+        print(f"wrote {args.out}", file=sys.stderr)
+    elif args.render:
+        print(render_analysis_report(report))
+    elif not args.check:
+        sys.stdout.write(dumps_analysis_report(report))
+    if args.timings:
+        _print_timings(recorder)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover — exercised via CLI tests
+    sys.exit(main())

@@ -1,0 +1,209 @@
+"""Fingerprint-graph collation (paper §4).
+
+The paper's measurement contribution: raw per-iteration audio
+fingerprints (eFPs) are *fickle* — one browser leaves several distinct
+hashes across 30 iterations — yet they are still linkable, because the
+same machine keeps revisiting the same eFPs. Collation makes that
+linkability explicit with a graph:
+
+  nodes  the distinct eFPs observed for one vector, and
+  edges  link two eFPs that were co-observed inside a single user's
+         iteration series (a browser emitted both, so they belong to
+         the same underlying device state).
+
+Connected components of this graph are the *collated fingerprints*: a
+user's entire series — however fickle — lands in exactly one component,
+and two users share a component exactly when their eFP sets overlap
+(directly or transitively through other users). Components therefore
+both stabilize fickle series and define the anonymity sets the entropy
+analysis measures.
+
+Implementation notes (scales past the paper's 2093 x 30 x 7 grid):
+
+- eFPs are integer-interned once (``StudyDataset.intern``), so the
+  whole computation runs on an ``(users, iterations)`` int64 grid.
+- Per-series edges are built vectorized as a star from each row's first
+  eFP to every other eFP in the row — connectivity-equivalent to the
+  full per-series clique at O(iterations) instead of O(iterations²)
+  edges — then deduplicated grid-wide with one ``np.unique``.
+- Components come from an iterative array-backed union-find (path
+  halving, no recursion) over the deduplicated edges, plus one
+  vectorized pointer-jumping pass to resolve every node's root. Work is
+  linear in the grid size up to near-constant inverse-Ackermann /
+  log-depth factors.
+- Roots are canonicalized to the *minimum interned eFP id* in each
+  component, so component identity is independent of edge order, and
+  dense component labels follow interning (first-appearance) order —
+  the same dataset always collates to byte-identical labels.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..obs import NULL_RECORDER
+
+
+class UnionFind:
+    """Array-backed disjoint-set union: iterative finds with path
+    halving, roots canonicalized to the smallest member id."""
+
+    __slots__ = ("parent",)
+
+    def __init__(self, size: int):
+        self.parent = np.arange(size, dtype=np.int64)
+
+    def find(self, i: int) -> int:
+        parent = self.parent
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]  # path halving
+            i = int(parent[i])
+        return int(i)
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; the smaller root wins, so a
+        component's representative is its minimum id regardless of the
+        order edges arrive in. Returns True if a merge happened."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if rb < ra:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        return True
+
+    def union_edges(self, edges: np.ndarray) -> int:
+        """Apply an ``(n, 2)`` edge array; returns the number of merges."""
+        merged = 0
+        for a, b in edges.tolist():
+            merged += self.union(a, b)
+        return merged
+
+    def roots(self) -> np.ndarray:
+        """Every element's root, resolved by vectorized pointer jumping
+        (O(log depth) full-array passes, no recursion)."""
+        parent = self.parent
+        while True:
+            grand = parent[parent]
+            if np.array_equal(grand, parent):
+                return grand
+            parent = grand
+
+
+def series_edges(codes: np.ndarray) -> np.ndarray:
+    """Deduplicated co-observation edges for an interned series grid.
+
+    Each row contributes a star from its first eFP to every later eFP —
+    enough for connectivity, linear in the row length. Self-loops are
+    dropped; undirected duplicates collapse via (lo, hi) normalization.
+    """
+    if codes.shape[1] < 2:
+        return np.empty((0, 2), dtype=np.int64)
+    first = np.broadcast_to(codes[:, :1], (codes.shape[0], codes.shape[1] - 1))
+    u = first.ravel()
+    v = codes[:, 1:].ravel()
+    mask = u != v
+    if not mask.any():
+        return np.empty((0, 2), dtype=np.int64)
+    u, v = u[mask], v[mask]
+    pairs = np.stack([np.minimum(u, v), np.maximum(u, v)], axis=1)
+    return np.unique(pairs, axis=0)
+
+
+@dataclass(frozen=True, eq=False)
+class VectorCollation:
+    """One vector's collated fingerprint graph, fully resolved.
+
+    All arrays follow the dataset's canonical orders: ``codes`` rows and
+    ``user_components`` follow ``user_ids``; ``efp_components`` follows
+    the interned eFP ids behind ``labels``. Component labels are dense
+    ints in first-appearance order of each component's smallest eFP.
+    """
+
+    vector: str
+    user_ids: list[str] = field(repr=False)
+    labels: list[str] = field(repr=False)
+    codes: np.ndarray = field(repr=False)            # (users, iterations)
+    efp_components: np.ndarray = field(repr=False)   # (n_efps,)
+    user_components: np.ndarray = field(repr=False)  # (users,)
+    edge_count: int = 0
+
+    @property
+    def efp_count(self) -> int:
+        return len(self.labels)
+
+    @property
+    def component_count(self) -> int:
+        return int(self.efp_components.max()) + 1 if self.efp_count else 0
+
+    def user_component_ids(self) -> dict[str, int]:
+        """``user_id -> collated fingerprint id`` (exactly one per user)."""
+        return {uid: int(c)
+                for uid, c in zip(self.user_ids, self.user_components)}
+
+    def raw_distinct_per_user(self) -> np.ndarray:
+        """Distinct raw eFPs per user row (Table 1's quantity), vectorized."""
+        s = np.sort(self.codes, axis=1)
+        return 1 + (s[:, 1:] != s[:, :-1]).sum(axis=1)
+
+    def collated_distinct_per_user(self) -> np.ndarray:
+        """Distinct collated ids per user row — 1 for every user, by
+        construction; computed (not assumed) so tests and the report
+        validator can verify the collapse actually happened."""
+        comp = self.efp_components[self.codes]
+        s = np.sort(comp, axis=1)
+        return 1 + (s[:, 1:] != s[:, :-1]).sum(axis=1)
+
+
+def collate_vector(dataset, vector: str, recorder=NULL_RECORDER) -> VectorCollation:
+    """Collate one vector's series grid into stable fingerprint ids."""
+    with recorder.span("collate", vector=vector):
+        codes, labels, user_ids = dataset.intern(vector)
+        uf = UnionFind(len(labels))
+        edges = series_edges(codes)
+        uf.union_edges(edges)
+        roots = uf.roots()
+        # roots are already canonical (min eFP id per component); densify
+        # to 0..C-1 in ascending-root order == first-appearance order
+        _, efp_components = np.unique(roots, return_inverse=True)
+        user_components = (efp_components[codes[:, 0]] if codes.size
+                           else np.empty(len(user_ids), dtype=np.int64))
+        recorder.count("collation.efps", len(labels))
+        recorder.count("collation.edges", int(edges.shape[0]))
+        recorder.count("collation.components",
+                       int(efp_components.max()) + 1 if len(labels) else 0)
+    return VectorCollation(
+        vector=vector,
+        user_ids=user_ids,
+        labels=labels,
+        codes=codes,
+        efp_components=efp_components,
+        user_components=user_components,
+        edge_count=int(edges.shape[0]),
+    )
+
+
+def collate(dataset, vectors=None, recorder=NULL_RECORDER) -> dict[str, VectorCollation]:
+    """Collate every requested vector; returns ``{vector: collation}``."""
+    names = tuple(vectors) if vectors is not None else tuple(dataset.vectors)
+    return {name: collate_vector(dataset, name, recorder=recorder)
+            for name in names}
+
+
+def combined_user_ids(collations: dict[str, VectorCollation],
+                      vectors=None) -> list[tuple[int, ...]]:
+    """Per-user cross-vector collated id tuples (the "Combined" row).
+
+    Rows follow the shared canonical user order; every collation must
+    come from the same dataset.
+    """
+    names = tuple(vectors) if vectors is not None else tuple(collations)
+    cols = [collations[name] for name in names]
+    base = cols[0].user_ids
+    for col in cols[1:]:
+        if col.user_ids != base:
+            raise ValueError(
+                f"collation for {col.vector!r} has a different user order")
+    stacked = np.stack([col.user_components for col in cols], axis=1)
+    return [tuple(row) for row in stacked.tolist()]

@@ -1,0 +1,159 @@
+"""Entropy, anonymity-set and stability metrics (paper §4 tables).
+
+All metrics are computed from *count multisets*, and every float path
+sorts its inputs before reducing, so results are exactly — not just
+approximately — invariant under user reordering: permuting the users of
+a dataset permutes ids, which leaves the sorted count vector unchanged,
+which leaves every IEEE-754 partial sum unchanged.
+
+Conventions (matching the paper and its precursor study):
+
+  Shannon entropy      H = -sum p_i log2 p_i, in bits, over id counts.
+  normalized entropy   H / log2(N) with N the number of observations —
+                       1.0 means all-distinct, 0.0 means one big set.
+  anonymity set        the group of users sharing one fingerprint id;
+                       a user is *unique* iff their set has size 1.
+"""
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+#: decimal places kept for every float emitted into reports — enough to
+#: be exact for these magnitudes while keeping the JSON stable to read
+FLOAT_DECIMALS = 12
+
+
+def _round(value: float) -> float:
+    return round(float(value), FLOAT_DECIMALS)
+
+
+def _sorted_counts(values) -> np.ndarray:
+    """Multiset of per-id counts as an ascending int64 array."""
+    if isinstance(values, Counter):
+        counter = values
+    else:
+        counter = Counter(values)
+    counts = np.fromiter(counter.values(), dtype=np.int64, count=len(counter))
+    counts = counts[counts > 0]
+    counts.sort()
+    return counts
+
+
+def shannon_entropy(values) -> float:
+    """Shannon entropy in bits of the id distribution ``values`` (an
+    iterable of hashable ids, or a Counter of counts)."""
+    counts = _sorted_counts(values)
+    total = counts.sum()
+    if total <= 0 or len(counts) <= 1:
+        return 0.0
+    p = counts / total
+    return float(-(p * np.log2(p)).sum())
+
+
+def normalized_entropy(values) -> float:
+    """Entropy normalized by the maximum for the observation count:
+    ``H / log2(N)`` — the paper's cross-population comparison scale."""
+    counts = _sorted_counts(values)
+    total = int(counts.sum())
+    if total <= 1:
+        return 0.0
+    return shannon_entropy(Counter(dict(enumerate(counts.tolist())))) \
+        / float(np.log2(total))
+
+
+def distribution(values) -> dict:
+    """The full per-id metrics block used throughout analysis reports.
+
+    ``values`` is one id per observation (e.g. one collated id per
+    user). Returns counts, entropy, normalized entropy, uniqueness, and
+    the anonymity-set size distribution — all permutation-invariant.
+    """
+    counts = _sorted_counts(values)
+    total = int(counts.sum())
+    distinct = int(len(counts))
+    entropy = shannon_entropy(Counter(dict(enumerate(counts.tolist()))))
+    unique = int((counts == 1).sum())
+    sizes = Counter(counts.tolist())
+    return {
+        "count": total,
+        "distinct": distinct,
+        "entropy_bits": _round(entropy),
+        "normalized_entropy": _round(entropy / float(np.log2(total))
+                                     if total > 1 else 0.0),
+        "unique_ids": unique,
+        "unique_fraction": _round(unique / total if total else 0.0),
+        "anonymity_sets": {
+            "min": int(counts.min()) if distinct else 0,
+            "max": int(counts.max()) if distinct else 0,
+            "mean": _round(total / distinct if distinct else 0.0),
+            "sizes": {str(size): int(n) for size, n in sorted(sizes.items())},
+        },
+    }
+
+
+def stability(collation) -> dict:
+    """Raw-vs-collated stability for one vector (the collapse the paper
+    demonstrates): how many users were fickle raw, and whether every one
+    of them collapsed to a single collated id."""
+    raw_distinct = collation.raw_distinct_per_user()
+    collated_distinct = collation.collated_distinct_per_user()
+    users = int(raw_distinct.shape[0])
+    fickle = raw_distinct > 1
+    fickle_users = int(fickle.sum())
+    collapsed = int((collated_distinct[fickle] == 1).sum())
+    return {
+        "users": users,
+        "raw_stable_users": users - fickle_users,
+        "raw_fickle_users": fickle_users,
+        "raw_stable_fraction": _round((users - fickle_users) / users
+                                      if users else 0.0),
+        "raw_mean_distinct_efps": _round(raw_distinct.mean() if users else 0.0),
+        "raw_max_distinct_efps": int(raw_distinct.max()) if users else 0,
+        "fickle_users_collapsed": collapsed,
+        "collated_stable_users": int((collated_distinct == 1).sum()),
+        "collated_stable_fraction": _round(
+            (collated_distinct == 1).mean() if users else 0.0),
+        "collated_max_ids_per_user": int(collated_distinct.max()) if users else 0,
+    }
+
+
+def vector_metrics(collation) -> dict:
+    """The per-vector analysis report section: graph shape, raw
+    diversity (per observation and per first observation), collated
+    diversity, and the stability collapse."""
+    codes = collation.codes
+    first_raw = codes[:, 0] if codes.size else np.empty(0, dtype=np.int64)
+    return {
+        "graph": {
+            "efps": collation.efp_count,
+            "edges": collation.edge_count,
+            "components": collation.component_count,
+        },
+        "raw": {
+            "observations": distribution(codes.ravel().tolist()),
+            "first_observation": distribution(first_raw.tolist()),
+        },
+        "collated": {
+            "per_user": distribution(collation.user_components.tolist()),
+        },
+        "stability": stability(collation),
+    }
+
+
+def combined_metrics(collations: dict, vectors) -> dict:
+    """The cross-vector "Combined" section: per-user tuples of collated
+    ids, and of raw first-observation eFPs, across all vectors."""
+    from .collation import combined_user_ids  # local: avoid import cycle
+
+    names = tuple(vectors)
+    collated = combined_user_ids(collations, names)
+    raw_first = np.stack(
+        [collations[name].codes[:, 0] for name in names], axis=1)
+    raw = [tuple(row) for row in raw_first.tolist()]
+    return {
+        "vectors": list(names),
+        "raw_first_observation": distribution(raw),
+        "collated": distribution(collated),
+    }

@@ -1,0 +1,262 @@
+"""The analysis report: build, validate, render.
+
+One deterministic JSON document per dataset: for every vector the
+fingerprint-graph shape, raw diversity (per observation and per first
+observation), collated diversity, and the stability collapse — plus the
+cross-vector "Combined" section. ``python -m repro.analysis`` writes it;
+``python -m repro.obs.report <path> --check`` schema-checks it (the obs
+CLI dispatches on ``kind``); CI gates on both.
+
+Determinism contract: the report is a pure function of the dataset.
+Serialized with ``sort_keys`` and fixed float rounding, the same dataset
+always produces byte-identical report files — across runs, across
+worker counts used to *render* the dataset, across user orderings for
+every entropy/anonymity value (see ``entropy`` module).
+"""
+from __future__ import annotations
+
+import json
+
+from ..obs import NULL_RECORDER
+from .collation import collate
+from .entropy import combined_metrics, vector_metrics
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+ANALYSIS_KIND = "repro.analysis.report"
+ANALYSIS_FORMAT = 1
+
+
+def build_analysis_report(dataset, collations=None,
+                          recorder=NULL_RECORDER) -> dict:
+    """Collate (unless pre-collated) and assemble the report document."""
+    if collations is None:
+        collations = collate(dataset, recorder=recorder)
+    vectors = {}
+    for name in dataset.vectors:
+        with recorder.span("entropy", vector=name):
+            vectors[name] = vector_metrics(collations[name])
+    with recorder.span("combine"):
+        combined = combined_metrics(collations, dataset.vectors)
+    return {
+        "kind": ANALYSIS_KIND,
+        "format": ANALYSIS_FORMAT,
+        "dataset": {
+            "seed": dataset.seed,
+            "user_count": dataset.user_count,
+            "iterations": dataset.iterations,
+            "vectors": list(dataset.vectors),
+        },
+        "vectors": vectors,
+        "combined": combined,
+    }
+
+
+def dumps_analysis_report(report: dict) -> str:
+    """The canonical byte encoding (what the CLI writes and CI diffs)."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+# -- validation (the CI schema check) ----------------------------------------
+
+def _check_distribution(problems: list[str], where: str, dist) -> None:
+    if not isinstance(dist, dict):
+        problems.append(f"{where} must be an object")
+        return
+    for key in ("count", "distinct", "unique_ids"):
+        value = dist.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            problems.append(f"{where}.{key} must be a non-negative integer")
+    for key in ("entropy_bits", "normalized_entropy", "unique_fraction"):
+        if not _is_number(dist.get(key)):
+            problems.append(f"{where}.{key} must be numeric")
+    if _is_number(dist.get("normalized_entropy")) \
+            and not 0.0 <= dist["normalized_entropy"] <= 1.0 + 1e-9:
+        problems.append(f"{where}.normalized_entropy out of [0, 1]")
+    sets = dist.get("anonymity_sets")
+    if not isinstance(sets, dict) or not isinstance(sets.get("sizes"), dict):
+        problems.append(f"{where}.anonymity_sets.sizes must be an object")
+        return
+    users = 0
+    groups = 0
+    for size, n in sets["sizes"].items():
+        if not (isinstance(size, str) and size.isdigit()
+                and isinstance(n, int) and n > 0):
+            problems.append(
+                f"{where}.anonymity_sets.sizes has a malformed entry "
+                f"({size!r}: {n!r})")
+            return
+        users += int(size) * n
+        groups += n
+    if isinstance(dist.get("count"), int) and users != dist["count"]:
+        problems.append(
+            f"{where}.anonymity_sets sizes cover {users} users, "
+            f"count says {dist['count']}")
+    if isinstance(dist.get("distinct"), int) and groups != dist["distinct"]:
+        problems.append(
+            f"{where}.anonymity_sets has {groups} sets, distinct says "
+            f"{dist['distinct']}")
+
+
+def validate_analysis_report(payload) -> list[str]:
+    """Return the list of schema/integrity problems (empty == valid)."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["analysis report is not a JSON object"]
+    if payload.get("kind") != ANALYSIS_KIND:
+        problems.append(
+            f"kind must be {ANALYSIS_KIND!r}, got {payload.get('kind')!r}")
+    if payload.get("format") != ANALYSIS_FORMAT:
+        problems.append(
+            f"format must be {ANALYSIS_FORMAT}, got {payload.get('format')!r}")
+
+    dataset = payload.get("dataset")
+    if not isinstance(dataset, dict):
+        problems.append("dataset must be an object")
+        dataset = {}
+    for key in ("seed", "user_count", "iterations"):
+        if not _is_number(dataset.get(key)):
+            problems.append(f"dataset.{key} must be numeric")
+    declared = dataset.get("vectors")
+    if not isinstance(declared, list) or not declared:
+        problems.append("dataset.vectors must be a non-empty array")
+        declared = []
+
+    vectors = payload.get("vectors")
+    if not isinstance(vectors, dict) or not vectors:
+        problems.append("vectors must be a non-empty object")
+        vectors = {}
+    if declared and vectors and sorted(vectors) != sorted(declared):
+        problems.append("vectors keys do not match dataset.vectors")
+
+    for name, section in vectors.items():
+        where = f"vectors[{name!r}]"
+        if not isinstance(section, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        graph = section.get("graph")
+        if not isinstance(graph, dict) or not all(
+                isinstance(graph.get(k), int) and graph.get(k) >= 0
+                for k in ("efps", "edges", "components")):
+            problems.append(
+                f"{where}.graph must carry integer efps/edges/components")
+        raw = section.get("raw", {})
+        if not isinstance(raw, dict):
+            problems.append(f"{where}.raw must be an object")
+        else:
+            _check_distribution(problems, f"{where}.raw.observations",
+                                raw.get("observations"))
+            _check_distribution(problems, f"{where}.raw.first_observation",
+                                raw.get("first_observation"))
+        collated = section.get("collated", {})
+        if not isinstance(collated, dict):
+            problems.append(f"{where}.collated must be an object")
+        else:
+            _check_distribution(problems, f"{where}.collated.per_user",
+                                collated.get("per_user"))
+        stab = section.get("stability")
+        if not isinstance(stab, dict):
+            problems.append(f"{where}.stability must be an object")
+            continue
+        for key in ("users", "raw_stable_users", "raw_fickle_users",
+                    "fickle_users_collapsed", "collated_stable_users",
+                    "collated_max_ids_per_user"):
+            value = stab.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                problems.append(f"{where}.stability.{key} must be a "
+                                "non-negative integer")
+        if all(isinstance(stab.get(k), int) for k in
+               ("users", "raw_stable_users", "raw_fickle_users")) \
+                and stab["raw_stable_users"] + stab["raw_fickle_users"] \
+                != stab["users"]:
+            problems.append(f"{where}.stability raw stable+fickle != users")
+        # the collation invariant the paper's scheme guarantees: every
+        # user — fickle or not — collapses to exactly one collated id
+        if isinstance(stab.get("users"), int):
+            if stab.get("collated_stable_users") != stab["users"]:
+                problems.append(
+                    f"{where}.stability: collated ids are not stable for "
+                    "every user (collation invariant violated)")
+            if stab.get("fickle_users_collapsed") != stab.get("raw_fickle_users"):
+                problems.append(
+                    f"{where}.stability: not every fickle user collapsed "
+                    "to one collated id")
+
+    combined = payload.get("combined")
+    if not isinstance(combined, dict):
+        problems.append("combined must be an object")
+    else:
+        if declared and combined.get("vectors") != declared:
+            problems.append("combined.vectors does not match dataset.vectors")
+        _check_distribution(problems, "combined.raw_first_observation",
+                            combined.get("raw_first_observation"))
+        _check_distribution(problems, "combined.collated",
+                            combined.get("collated"))
+    return problems
+
+
+# -- human-readable rendering -------------------------------------------------
+
+def render_analysis_report(payload: dict) -> str:
+    """Render an analysis report as the paper-style diversity tables."""
+    # deferred: importing obs.report at module scope would pre-load it
+    # under `python -m repro.obs.report` and trip runpy's double-import
+    # warning (obs/__init__ keeps it lazy for the same reason)
+    from ..obs.report import _table
+
+    out: list[str] = []
+    dataset = payload.get("dataset", {})
+    out.append("== analysis report ==")
+    out.append("dataset: " + ", ".join(f"{k}={v}" for k, v in dataset.items()))
+
+    rows = []
+    sections = list(payload.get("vectors", {}).items())
+    combined = payload.get("combined")
+    for name, section in sections:
+        graph = section["graph"]
+        collated = section["collated"]["per_user"]
+        raw = section["raw"]["first_observation"]
+        rows.append([
+            name, str(graph["efps"]), str(graph["edges"]),
+            str(graph["components"]),
+            f"{raw['entropy_bits']:.4f}",
+            f"{collated['entropy_bits']:.4f}",
+            f"{collated['normalized_entropy']:.4f}",
+            str(collated["unique_ids"]),
+            str(collated["anonymity_sets"]["max"]),
+        ])
+    if combined:
+        rows.append([
+            "combined", "-", "-",
+            str(combined["collated"]["distinct"]),
+            f"{combined['raw_first_observation']['entropy_bits']:.4f}",
+            f"{combined['collated']['entropy_bits']:.4f}",
+            f"{combined['collated']['normalized_entropy']:.4f}",
+            str(combined["collated"]["unique_ids"]),
+            str(combined["collated"]["anonymity_sets"]["max"]),
+        ])
+    out.append("")
+    out.append("diversity (entropy in bits; raw = first observation):")
+    out.append(_table(
+        ["vector", "efps", "edges", "collated", "H_raw", "H_coll",
+         "e_norm", "unique", "max_set"], rows))
+
+    out.append("")
+    out.append("stability (raw fickleness vs collated collapse):")
+    stab_rows = []
+    for name, section in sections:
+        stab = section["stability"]
+        stab_rows.append([
+            name, str(stab["users"]), str(stab["raw_fickle_users"]),
+            f"{stab['raw_mean_distinct_efps']:.3f}",
+            str(stab["raw_max_distinct_efps"]),
+            str(stab["fickle_users_collapsed"]),
+            f"{stab['collated_stable_fraction']:.3f}",
+        ])
+    out.append(_table(
+        ["vector", "users", "fickle", "mean_efps", "max_efps",
+         "collapsed", "coll_stable"], stab_rows))
+    out.append("")
+    return "\n".join(out)

@@ -1,0 +1,49 @@
+"""Crash-safe JSON/text writes shared across the repo.
+
+Every artefact this codebase persists — render-cache files, study
+datasets, run reports, analysis reports — is a single JSON document that
+some later stage trusts completely. A bare ``open(path, "w")`` can leave
+a torn file if the process dies mid-dump; the reader then sees invalid
+JSON (best case) or a silently truncated payload (worst case).
+
+``atomic_write_text`` is the one writer: it dumps to a same-directory
+temp file, flushes and fsyncs it, then renames it over the target with
+``os.replace``. Readers observe either the complete old file or the
+complete new one, never a partial write — even across a crash at any
+point of the sequence. The temp file is unlinked on failure, so an
+aborted write leaves no stray ``*.tmp`` behind either.
+"""
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+
+def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> None:
+    """Atomically replace ``path`` with ``text`` (creating directories)."""
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def atomic_write_json(path: str, payload, *, indent: int | None = None,
+                      sort_keys: bool = False) -> None:
+    """Atomically write ``payload`` as JSON (newline-terminated).
+
+    Serialization happens *before* any file is touched, so a payload that
+    fails to encode cannot clobber an existing file — the target keeps
+    its previous complete contents.
+    """
+    text = json.dumps(payload, indent=indent, sort_keys=sort_keys) + "\n"
+    atomic_write_text(path, text)

@@ -6,6 +6,12 @@ counters, per-vector latency histograms, cache statistics, the per-stack
 hot-node profile, and pool utilization. ``run_study(report_path=...)``
 writes one; CI schema-checks it with ``--check`` and uploads it as an
 artifact; ``python -m repro.obs.report <path>`` renders it as tables.
+
+The CLI dispatches on the document's ``kind``: run reports
+(``repro.obs.report``) are handled here, analysis reports
+(``repro.analysis.report``, written by ``python -m repro.analysis``) are
+validated/rendered through ``repro.analysis.report`` — so one ``--check``
+entry point gates every report artefact CI produces.
 """
 from __future__ import annotations
 
@@ -225,8 +231,9 @@ def render_report(payload: dict) -> str:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
-        description="Validate and pretty-print a repro.obs run report.")
-    parser.add_argument("path", help="path to a run-report JSON file")
+        description="Validate and pretty-print a repro report (run reports "
+                    "and repro.analysis reports, dispatched on 'kind').")
+    parser.add_argument("path", help="path to a report JSON file")
     parser.add_argument("--check", action="store_true",
                         help="schema-check only; print nothing on success")
     args = parser.parse_args(argv)
@@ -240,6 +247,24 @@ def main(argv: list[str] | None = None) -> int:
     except json.JSONDecodeError as exc:
         print(f"error: {args.path} is not valid JSON: {exc}", file=sys.stderr)
         return 2
+
+    if isinstance(payload, dict) \
+            and payload.get("kind") == "repro.analysis.report":
+        # deferred import: obs stays analysis-free unless a report needs it
+        from ..analysis.report import (render_analysis_report,
+                                       validate_analysis_report)
+        problems = validate_analysis_report(payload)
+        if problems:
+            print(f"error: {args.path} failed schema check:", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 2
+        if not args.check:
+            try:
+                print(render_analysis_report(payload))
+            except BrokenPipeError:  # e.g. piped into `head`
+                sys.stderr.close()
+        return 0
 
     problems = validate_report(payload)
     if problems:

@@ -13,9 +13,9 @@ skip even the first render of each class.
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from collections import OrderedDict
+
+from ..io import atomic_write_json
 
 
 class RenderCache:
@@ -80,7 +80,11 @@ class RenderCache:
         return len(self._store)
 
     def __contains__(self, key: str) -> bool:
-        return not self.disabled and key in self._store
+        """Membership takes the same path as ``get``: it records a hit or
+        miss and refreshes the entry's recency, so probing with ``in``
+        can never silently diverge from the LRU/stats semantics reads
+        have."""
+        return self.get(key) is not None
 
     # -- stats --------------------------------------------------------------
     @property
@@ -129,24 +133,12 @@ class RenderCache:
     def persist(self) -> None:
         """Crash-safely write the cache to disk (no-op without a disk path).
 
-        Writes to a same-directory temp file, fsyncs it, then renames over
-        the target with ``os.replace`` — readers see either the complete
-        old file or the complete new one, never a torn write, even if the
+        Delegates to the shared ``repro.io`` atomic writer (temp file +
+        fsync + ``os.replace``) — readers see either the complete old
+        file or the complete new one, never a torn write, even if the
         process dies mid-persist.
         """
         if not self.disk_path or self.disabled:
             return
-        directory = os.path.dirname(self.disk_path) or "."
-        os.makedirs(directory, exist_ok=True)
-        payload = {"format": 1, "entries": dict(self._store)}
-        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh)
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, self.disk_path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        atomic_write_json(self.disk_path,
+                          {"format": 1, "entries": dict(self._store)})

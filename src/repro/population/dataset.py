@@ -4,6 +4,10 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from ..io import atomic_write_json
+
 
 @dataclass
 class StudyDataset:
@@ -23,6 +27,39 @@ class StudyDataset:
     def stack_keys(self) -> list[str]:
         return [u["stack_key"] for u in self.users]
 
+    def user_ids(self) -> list[str]:
+        """User ids in canonical (stored) order — the row order every
+        per-user array in the analysis layer follows."""
+        return [u["id"] for u in self.users]
+
+    def iter_user_series(self, vector: str):
+        """Yield ``(user_id, [eFP per iteration])`` in canonical user order."""
+        series = self.series[vector]
+        for uid in self.user_ids():
+            yield uid, series[uid]
+
+    def intern(self, vector: str) -> tuple[np.ndarray, list[str], list[str]]:
+        """Integer-intern one vector's series for vectorized analysis.
+
+        Returns ``(codes, labels, user_ids)``: ``codes`` is an
+        ``(n_users, iterations)`` int64 grid of interned eFP ids,
+        ``labels[i]`` is the eFP string behind id ``i`` (ids assigned in
+        first-appearance order scanning users canonically), and
+        ``user_ids`` names the rows. The collation layer operates on
+        this grid only — string eFPs are touched exactly once here.
+        """
+        table: dict[str, int] = {}
+        user_ids = self.user_ids()
+        codes = np.empty((len(user_ids), self.iterations), dtype=np.int64)
+        series = self.series[vector]
+        for row, uid in enumerate(user_ids):
+            for col, efp in enumerate(series[uid]):
+                code = table.get(efp)
+                if code is None:
+                    code = table[efp] = len(table)
+                codes[row, col] = code
+        return codes, list(table), user_ids
+
     # -- (de)serialization --------------------------------------------------
     def to_dict(self) -> dict:
         return {
@@ -38,19 +75,91 @@ class StudyDataset:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "StudyDataset":
-        meta = payload["meta"]
+        """Build a dataset from a JSON payload, validating its integrity.
+
+        The analysis layer trusts loaded datasets completely, so an
+        inconsistent payload must fail *here*, naming the offending
+        field, instead of producing silently wrong metrics downstream.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError("dataset payload must be a JSON object")
+        for key in ("meta", "users", "series"):
+            if key not in payload:
+                raise ValueError(f"dataset payload missing {key!r}")
+        meta, users, series = payload["meta"], payload["users"], payload["series"]
+        if not isinstance(meta, dict):
+            raise ValueError("meta must be an object")
+        for key in ("seed", "user_count", "iterations", "vectors"):
+            if key not in meta:
+                raise ValueError(f"meta missing {key!r}")
+        if not isinstance(users, list):
+            raise ValueError("users must be an array")
+        if not isinstance(series, dict):
+            raise ValueError("series must be an object")
+
+        iterations = meta["iterations"]
+        if not isinstance(iterations, int) or isinstance(iterations, bool) \
+                or iterations <= 0:
+            raise ValueError(
+                f"meta.iterations must be a positive integer, got {iterations!r}")
+        if meta["user_count"] != len(users):
+            raise ValueError(
+                f"meta.user_count is {meta['user_count']} but users has "
+                f"{len(users)} entries")
+
+        vectors = meta["vectors"]
+        if not isinstance(vectors, list) or not vectors \
+                or not all(isinstance(v, str) for v in vectors):
+            raise ValueError("meta.vectors must be a non-empty array of strings")
+        declared = set(vectors)
+        for vector in series:
+            if vector not in declared:
+                raise ValueError(
+                    f"series contains vector {vector!r} absent from meta.vectors")
+        for vector in vectors:
+            if vector not in series:
+                raise ValueError(f"meta.vectors names {vector!r} but series has "
+                                 "no entry for it")
+
+        ids = []
+        for i, user in enumerate(users):
+            if not isinstance(user, dict) or not isinstance(user.get("id"), str):
+                raise ValueError(f"users[{i}] must be an object with a string 'id'")
+            ids.append(user["id"])
+        if len(set(ids)) != len(ids):
+            raise ValueError("users contains duplicate ids")
+        id_set = set(ids)
+        for vector, per_user in series.items():
+            if not isinstance(per_user, dict):
+                raise ValueError(f"series[{vector!r}] must be an object")
+            if set(per_user) != id_set:
+                extra = sorted(set(per_user) - id_set)
+                missing = sorted(id_set - set(per_user))
+                raise ValueError(
+                    f"series[{vector!r}] users do not match the users list "
+                    f"(unknown: {extra[:3]}, missing: {missing[:3]})")
+            for uid, efps in per_user.items():
+                if not isinstance(efps, list) \
+                        or not all(isinstance(e, str) for e in efps):
+                    raise ValueError(
+                        f"series[{vector!r}][{uid!r}] must be an array of strings")
+                if len(efps) != iterations:
+                    raise ValueError(
+                        f"series[{vector!r}][{uid!r}] has {len(efps)} "
+                        f"iterations, expected {iterations}")
+
         return cls(
             seed=meta["seed"],
             user_count=meta["user_count"],
-            iterations=meta["iterations"],
-            vectors=tuple(meta["vectors"]),
-            users=payload["users"],
-            series=payload["series"],
+            iterations=iterations,
+            vectors=tuple(vectors),
+            users=users,
+            series=series,
         )
 
     def save(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(self.to_dict(), fh)
+        """Crash-safely write the dataset (shared atomic JSON writer)."""
+        atomic_write_json(path, self.to_dict())
 
     @classmethod
     def load(cls, path: str) -> "StudyDataset":

@@ -34,13 +34,13 @@ counters are identical at any worker count.
 """
 from __future__ import annotations
 
-import json
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+from ..io import atomic_write_json
 from ..obs import NULL_RECORDER, Recorder, profile_nodes
 from ..platform.jitter import sample_path, sample_repertoire
 from ..platform.stacks import AudioStack
@@ -285,6 +285,10 @@ def run_study(user_count: int, iterations: int = 30,
     Results are bit-identical regardless of worker count, cache state,
     batching, or observability.
     """
+    if iterations <= 0:
+        raise ValueError(f"iterations must be positive, got {iterations}")
+    if not vectors:
+        raise ValueError("vectors must be non-empty")
     for name in vectors:
         get_vector(name)  # fail fast on unknown vectors
     if recorder is None:
@@ -382,7 +386,5 @@ def run_study(user_count: int, iterations: int = 30,
                     "distinct_classes": len(classes)}
         report = build_report(recorder, workload, cache_stats=cache.stats(),
                               pool=pool_info)
-        with open(report_path, "w", encoding="utf-8") as fh:
-            json.dump(report, fh, indent=2)
-            fh.write("\n")
+        atomic_write_json(report_path, report, indent=2)
     return dataset

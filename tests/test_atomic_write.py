@@ -1,0 +1,104 @@
+"""The shared crash-safe writer (repro.io): torn-write simulations prove
+datasets, run reports and analysis reports are never left partial."""
+import json
+import os
+
+import pytest
+
+from repro import RenderCache, run_study
+from repro.io import atomic_write_json, atomic_write_text
+
+
+class TestAtomicWriteHelpers:
+    def test_writes_newline_terminated_json(self, tmp_path):
+        path = tmp_path / "x.json"
+        atomic_write_json(str(path), {"a": 1})
+        assert path.read_text() == '{"a": 1}\n'
+        assert list(tmp_path.iterdir()) == [path]  # no stray temp files
+
+    def test_creates_missing_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "x.json"
+        atomic_write_json(str(path), [1, 2])
+        assert json.loads(path.read_text()) == [1, 2]
+
+    def test_unserializable_payload_never_touches_target(self, tmp_path):
+        """Serialization happens before any file I/O: a payload that blows
+        up mid-encode leaves the previous complete file in place."""
+        path = tmp_path / "x.json"
+        atomic_write_json(str(path), {"ok": True})
+        with pytest.raises(TypeError):
+            atomic_write_json(str(path), {"ok": True, "boom": object()})
+        assert json.loads(path.read_text()) == {"ok": True}
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_crash_during_write_keeps_old_file(self, tmp_path, monkeypatch):
+        """Simulated crash between write and rename (fsync raises): the
+        target keeps its old complete contents, the temp file is gone."""
+        path = tmp_path / "x.json"
+        atomic_write_text(str(path), "old complete contents")
+
+        def exploding_fsync(fd):
+            raise OSError("simulated crash mid-write")
+
+        monkeypatch.setattr(os, "fsync", exploding_fsync)
+        with pytest.raises(OSError, match="simulated crash"):
+            atomic_write_text(str(path), "new partial contents")
+        assert path.read_text() == "old complete contents"
+        assert list(tmp_path.iterdir()) == [path]
+
+
+class TestDatasetSave:
+    def test_torn_save_keeps_previous_dataset(self, tmp_path):
+        dataset = run_study(user_count=3, iterations=2, vectors=("dc",),
+                            seed=1, workers=0)
+        path = tmp_path / "ds.json"
+        dataset.save(str(path))
+        good = path.read_bytes()
+
+        broken = run_study(user_count=3, iterations=2, vectors=("dc",),
+                           seed=2, workers=0)
+        broken.users[0]["poison"] = object()  # json.dumps will raise
+        with pytest.raises(TypeError):
+            broken.save(str(path))
+        assert path.read_bytes() == good
+        assert list(tmp_path.iterdir()) == [path]
+
+
+class TestRunStudyReport:
+    def test_torn_report_keeps_previous_report(self, tmp_path, monkeypatch):
+        path = tmp_path / "report.json"
+        run_study(user_count=3, iterations=2, vectors=("dc",), seed=1,
+                  workers=0, report_path=str(path))
+        good = json.loads(path.read_text())
+
+        import repro.obs.report as obs_report
+        real_build = obs_report.build_report
+
+        def poisoned_build(*args, **kwargs):
+            report = real_build(*args, **kwargs)
+            report["poison"] = object()
+            return report
+
+        monkeypatch.setattr(obs_report, "build_report", poisoned_build)
+        with pytest.raises(TypeError):
+            run_study(user_count=3, iterations=2, vectors=("dc",), seed=2,
+                      workers=0, report_path=str(path))
+        assert json.loads(path.read_text()) == good
+        assert list(tmp_path.iterdir()) == [path]
+
+
+class TestCachePersist:
+    def test_crash_mid_persist_keeps_old_cache(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "cache.json")
+        cache = RenderCache(disk_path=path)
+        cache.put("k", "old")
+        cache.persist()
+
+        cache.put("k", "new")
+        monkeypatch.setattr(os, "fsync",
+                            lambda fd: (_ for _ in ()).throw(OSError("crash")))
+        with pytest.raises(OSError):
+            cache.persist()
+        monkeypatch.undo()
+        assert RenderCache(disk_path=path).get("k") == "old"
+        assert os.listdir(tmp_path) == ["cache.json"]

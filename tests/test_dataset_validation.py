@@ -1,0 +1,102 @@
+"""StudyDataset.from_dict integrity validation: corrupt or inconsistent
+payloads raise ValueError naming the offending field instead of
+propagating bad data into the analysis layer."""
+import json
+
+import pytest
+
+from repro import StudyDataset, run_study
+
+
+@pytest.fixture()
+def payload():
+    return run_study(user_count=4, iterations=3, vectors=("dc", "fft"),
+                     seed=9, workers=0).to_dict()
+
+
+def test_valid_payload_round_trips(payload):
+    dataset = StudyDataset.from_dict(payload)
+    assert dataset.to_dict() == payload
+
+
+def test_user_count_mismatch(payload):
+    payload["meta"]["user_count"] = 99
+    with pytest.raises(ValueError, match="user_count"):
+        StudyDataset.from_dict(payload)
+
+
+def test_series_vector_absent_from_meta(payload):
+    payload["series"]["mystery"] = payload["series"]["dc"]
+    with pytest.raises(ValueError, match="absent from meta.vectors"):
+        StudyDataset.from_dict(payload)
+
+
+def test_declared_vector_missing_from_series(payload):
+    del payload["series"]["fft"]
+    with pytest.raises(ValueError, match="no entry"):
+        StudyDataset.from_dict(payload)
+
+
+def test_series_length_mismatch(payload):
+    uid = payload["users"][0]["id"]
+    payload["series"]["dc"][uid] = payload["series"]["dc"][uid][:-1]
+    with pytest.raises(ValueError, match="iterations"):
+        StudyDataset.from_dict(payload)
+
+
+def test_series_unknown_user(payload):
+    payload["series"]["dc"]["ghost"] = ["e"] * 3
+    with pytest.raises(ValueError, match="do not match the users list"):
+        StudyDataset.from_dict(payload)
+
+
+def test_duplicate_user_ids(payload):
+    payload["users"][1] = payload["users"][0]
+    with pytest.raises(ValueError, match="duplicate"):
+        StudyDataset.from_dict(payload)
+
+
+@pytest.mark.parametrize("iterations", [0, -1, "3", 2.5, True])
+def test_bad_iterations(payload, iterations):
+    payload["meta"]["iterations"] = iterations
+    with pytest.raises(ValueError, match="iterations"):
+        StudyDataset.from_dict(payload)
+
+
+def test_empty_vectors(payload):
+    payload["meta"]["vectors"] = []
+    with pytest.raises(ValueError, match="vectors"):
+        StudyDataset.from_dict(payload)
+
+
+@pytest.mark.parametrize("key", ["meta", "users", "series"])
+def test_missing_top_level_key(payload, key):
+    del payload[key]
+    with pytest.raises(ValueError, match=key):
+        StudyDataset.from_dict(payload)
+
+
+def test_missing_meta_key(payload):
+    del payload["meta"]["seed"]
+    with pytest.raises(ValueError, match="seed"):
+        StudyDataset.from_dict(payload)
+
+
+def test_non_string_efp(payload):
+    uid = payload["users"][0]["id"]
+    payload["series"]["dc"][uid][0] = 42
+    with pytest.raises(ValueError, match="array of strings"):
+        StudyDataset.from_dict(payload)
+
+
+def test_load_rejects_corrupt_file(tmp_path, payload):
+    payload["meta"]["user_count"] = 99
+    path = tmp_path / "corrupt.json"
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ValueError, match="user_count"):
+        StudyDataset.load(str(path))
+
+
+def test_not_an_object():
+    with pytest.raises(ValueError, match="object"):
+        StudyDataset.from_dict([1, 2, 3])

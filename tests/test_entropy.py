@@ -1,0 +1,79 @@
+"""Entropy/anonymity metric unit tests: exact values on known
+distributions, bounds, multiset integrity, and exact permutation
+invariance of the float results."""
+import math
+import random
+from collections import Counter
+
+from repro.analysis import distribution, normalized_entropy, shannon_entropy
+
+
+class TestShannonEntropy:
+    def test_uniform_is_log2_n(self):
+        assert shannon_entropy(["a", "b", "c", "d"]) == 2.0
+        assert shannon_entropy(list(range(8))) == 3.0
+
+    def test_single_value_is_zero(self):
+        assert shannon_entropy(["x"] * 10) == 0.0
+        assert shannon_entropy([]) == 0.0
+
+    def test_known_skewed_value(self):
+        # counts {a: 1, b: 3}: H = -(1/4 log2 1/4 + 3/4 log2 3/4)
+        expected = -(0.25 * math.log2(0.25) + 0.75 * math.log2(0.75))
+        assert abs(shannon_entropy(["a", "b", "b", "b"]) - expected) < 1e-12
+
+    def test_accepts_counter(self):
+        assert shannon_entropy(Counter({"a": 2, "b": 2})) == 1.0
+
+
+class TestNormalizedEntropy:
+    def test_all_distinct_is_one(self):
+        assert normalized_entropy(list(range(16))) == 1.0
+
+    def test_all_same_is_zero(self):
+        assert normalized_entropy(["x"] * 16) == 0.0
+
+    def test_bounds(self):
+        rng = random.Random(5)
+        ids = [rng.randrange(6) for _ in range(50)]
+        assert 0.0 <= normalized_entropy(ids) <= 1.0
+
+
+class TestDistribution:
+    def test_counts_and_anonymity_sets(self):
+        dist = distribution(["a", "a", "a", "b", "c"])
+        assert dist["count"] == 5
+        assert dist["distinct"] == 3
+        assert dist["unique_ids"] == 2
+        assert dist["unique_fraction"] == 0.4
+        assert dist["anonymity_sets"]["sizes"] == {"1": 2, "3": 1}
+        assert dist["anonymity_sets"]["min"] == 1
+        assert dist["anonymity_sets"]["max"] == 3
+
+    def test_sizes_partition_the_population(self):
+        rng = random.Random(11)
+        ids = [rng.randrange(20) for _ in range(200)]
+        dist = distribution(ids)
+        sizes = dist["anonymity_sets"]["sizes"]
+        assert sum(int(s) * n for s, n in sizes.items()) == dist["count"]
+        assert sum(sizes.values()) == dist["distinct"]
+
+    def test_exact_permutation_invariance(self):
+        """Floats, not just values-up-to-epsilon: reordering observations
+        must reproduce bit-identical entropy numbers (counts are sorted
+        before any reduction)."""
+        rng = random.Random(23)
+        ids = [rng.randrange(40) for _ in range(500)]
+        base = distribution(ids)
+        for _ in range(5):
+            rng.shuffle(ids)
+            # relabel ids bijectively too (what user reordering does)
+            perm = list(range(40))
+            rng.shuffle(perm)
+            assert distribution([perm[i] for i in ids]) == base
+
+    def test_empty(self):
+        dist = distribution([])
+        assert dist["count"] == 0
+        assert dist["entropy_bits"] == 0.0
+        assert dist["anonymity_sets"]["sizes"] == {}

@@ -76,6 +76,46 @@ class TestCounterAPI:
         assert cache.stats()["hits"] == 0
 
 
+class TestContains:
+    """``in`` routes through the same path as ``get``: it records
+    hits/misses and refreshes recency, so membership probes can no
+    longer silently skew the LRU order or ``stats()``."""
+
+    def test_probe_counts_hit_and_miss(self):
+        cache = RenderCache()
+        cache.put("k", "v")
+        assert "k" in cache
+        assert "absent" not in cache
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_probe_refreshes_recency(self):
+        """A probed entry becomes most-recently-used — identical to a
+        get — so eviction order reflects probes too."""
+        cache = RenderCache(capacity=2)
+        cache.put("a", "1")
+        cache.put("b", "2")
+        assert "a" in cache     # refresh a via membership probe
+        cache.put("c", "3")     # must evict b, not a
+        assert cache.get("a") == "1"
+        assert cache.get("b") is None
+
+    def test_probe_and_get_have_identical_stats_effect(self):
+        probed, gotten = RenderCache(), RenderCache()
+        for cache in (probed, gotten):
+            cache.put("k", "v")
+        "k" in probed
+        "missing" in probed
+        gotten.get("k")
+        gotten.get("missing")
+        assert probed.stats() == gotten.stats()
+
+    def test_disabled_cache_probe_counts_miss(self):
+        cache = RenderCache(disabled=True)
+        assert "k" not in cache
+        assert cache.stats()["misses"] == 1
+
+
 class TestBitIdentity:
     def test_cached_render_equals_uncached(self):
         """The acceptance property: for the same cache key the cached value

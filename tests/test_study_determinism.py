@@ -70,3 +70,14 @@ def test_unknown_vector_rejected_before_sampling():
 def test_invalid_user_count():
     with pytest.raises(ValueError):
         run_study(user_count=0, workers=0)
+
+
+@pytest.mark.parametrize("iterations", [0, -3])
+def test_invalid_iterations_rejected_up_front(iterations):
+    with pytest.raises(ValueError, match="iterations"):
+        run_study(user_count=5, iterations=iterations, workers=0)
+
+
+def test_empty_vectors_rejected_up_front():
+    with pytest.raises(ValueError, match="vectors"):
+        run_study(user_count=5, vectors=(), workers=0)
