@@ -10,15 +10,21 @@ Top-level convenience surface; the layers live in:
                     analysis (the paper's §4 measurement layer)
   repro.obs         observability: span tracer, metrics, node profiler,
                     run reports (zero-dependency, off by default)
+  repro.resilience  fault-tolerant supervised execution: retry/backoff,
+                    batch bisection, checkpoint-resume, fault injection
 """
 
 from .analysis import build_analysis_report, collate  # noqa: F401
 from .obs import NullRecorder, Recorder  # noqa: F401
 from .population import RenderCache, StudyDataset, run_study  # noqa: F401
+from .resilience import (FaultPlan, RetryBudget, RetryPolicy,  # noqa: F401
+                         StudyExecutionError)
 from .webaudio import OfflineAudioContext  # noqa: F401
 
 __version__ = "0.1.0"
 
 __all__ = ["run_study", "RenderCache", "StudyDataset", "OfflineAudioContext",
            "collate", "build_analysis_report",
-           "Recorder", "NullRecorder", "__version__"]
+           "Recorder", "NullRecorder",
+           "StudyExecutionError", "RetryPolicy", "RetryBudget", "FaultPlan",
+           "__version__"]

@@ -26,14 +26,24 @@ def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> None:
     os.makedirs(directory, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
     try:
-        with os.fdopen(fd, "w", encoding=encoding) as fh:
+        try:
+            fh = os.fdopen(fd, "w", encoding=encoding)
+        except BaseException:
+            os.close(fd)  # fdopen never took ownership of the descriptor
+            raise
+        with fh:
             fh.write(text)
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
     except BaseException:
-        if os.path.exists(tmp):
+        # best-effort cleanup: never mask the original failure — a torn
+        # write that ALSO cannot unlink its temp file must still raise
+        # the write error, not the unlink error
+        try:
             os.unlink(tmp)
+        except OSError:
+            pass
         raise
 
 

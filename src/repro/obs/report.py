@@ -29,13 +29,23 @@ STUDY_PHASES = ("plan", "render", "assemble")
 
 
 def build_report(recorder, workload: dict, cache_stats: dict | None = None,
-                 pool: dict | None = None) -> dict:
-    """Assemble the report document from a recorder plus run context."""
+                 pool: dict | None = None,
+                 resilience: dict | None = None) -> dict:
+    """Assemble the report document from a recorder plus run context.
+
+    ``resilience`` is the supervised-execution summary produced by
+    ``run_study`` (``repro.resilience.SupervisedExecutor.summary()`` plus
+    the checkpoint bookkeeping); its ``retry`` / ``degraded`` /
+    ``checkpoint`` members become top-level report sections so dashboards
+    and the CI schema check see recovery activity next to the latency
+    data it perturbed.
+    """
     snapshot = recorder.snapshot()
     top_level = [s for s in snapshot["spans"] if s.get("parent") is None]
     top_level.sort(key=lambda s: s["start_s"])
     phases = [{"name": s["name"], "start_s": s["start_s"],
                "duration_s": s["duration_s"]} for s in top_level]
+    resilience = resilience or {}
     return {
         "kind": REPORT_KIND,
         "format": REPORT_FORMAT,
@@ -47,6 +57,9 @@ def build_report(recorder, workload: dict, cache_stats: dict | None = None,
         "cache": dict(cache_stats) if cache_stats is not None else None,
         "node_profile": snapshot["node_profile"],
         "pool": dict(pool) if pool is not None else None,
+        "retry": resilience.get("retry"),
+        "degraded": resilience.get("degraded"),
+        "checkpoint": resilience.get("checkpoint"),
     }
 
 
@@ -107,6 +120,71 @@ def validate_report(payload) -> list[str]:
     if cache is not None:
         if not isinstance(cache, dict) or not {"hits", "misses"} <= cache.keys():
             problems.append("cache must be null or an object with hits/misses")
+
+    # resilience contract: the supervised executor writes its summary both
+    # as counters and as the retry/degraded/checkpoint sections — the two
+    # views must agree, and recovery activity implies the sections exist
+    counters = payload.get("counters")
+    counters = counters if isinstance(counters, dict) else {}
+
+    retry = payload.get("retry")
+    if retry is None:
+        if counters.get("retry.attempts"):
+            problems.append("retry.* counters present but retry section missing")
+    elif not isinstance(retry, dict):
+        problems.append("retry must be null or an object")
+    else:
+        for field in ("attempts", "retries", "timeouts", "crashes",
+                      "worker_errors", "corrupt_returns", "bisections"):
+            if not _is_number(retry.get(field)):
+                problems.append(f"retry.{field} must be numeric")
+        quarantined = retry.get("quarantined")
+        if not isinstance(quarantined, list) \
+                or not all(isinstance(k, str) for k in quarantined):
+            problems.append("retry.quarantined must be an array of class keys")
+        elif len(quarantined) != counters.get("retry.quarantined", 0):
+            problems.append("retry.quarantined length does not match "
+                            "counter retry.quarantined")
+        budget = retry.get("budget")
+        if not isinstance(budget, dict) or not _is_number(budget.get("limit")) \
+                or not _is_number(budget.get("spent")):
+            problems.append("retry.budget must have numeric limit/spent")
+        for field, counter in (("attempts", "retry.attempts"),
+                               ("retries", "retry.retries"),
+                               ("timeouts", "retry.timeouts"),
+                               ("crashes", "retry.crashes"),
+                               ("corrupt_returns", "retry.corrupt_returns"),
+                               ("bisections", "retry.bisections")):
+            if _is_number(retry.get(field)) \
+                    and retry[field] != counters.get(counter, 0):
+                problems.append(f"retry.{field} does not match counter {counter}")
+
+    degraded = payload.get("degraded")
+    if degraded is not None:
+        if not isinstance(degraded, dict) \
+                or not _is_number(degraded.get("pool_rebuilds")) \
+                or not isinstance(degraded.get("inline_fallback"), bool):
+            problems.append("degraded must have numeric pool_rebuilds and "
+                            "boolean inline_fallback")
+        elif degraded["pool_rebuilds"] != counters.get("degraded.pool_rebuilds", 0):
+            problems.append("degraded.pool_rebuilds does not match counter "
+                            "degraded.pool_rebuilds")
+
+    checkpoint = payload.get("checkpoint")
+    if checkpoint is not None:
+        if not isinstance(checkpoint, dict) \
+                or not isinstance(checkpoint.get("enabled"), bool):
+            problems.append("checkpoint must have a boolean enabled flag")
+        else:
+            for field, counter in (("writes", "checkpoint.writes"),
+                                   ("torn_writes", "checkpoint.torn_writes"),
+                                   ("resumed_classes", "checkpoint.resumed_classes"),
+                                   ("corrupt_recoveries", "checkpoint.corrupt")):
+                if not _is_number(checkpoint.get(field)):
+                    problems.append(f"checkpoint.{field} must be numeric")
+                elif checkpoint[field] != counters.get(counter, 0):
+                    problems.append(
+                        f"checkpoint.{field} does not match counter {counter}")
 
     # batched-render contract: any run that counted batches must also have
     # recorded the batch-size histogram, and its observations must account
@@ -222,6 +300,27 @@ def render_report(payload: dict) -> str:
     if pool:
         out.append("")
         out.append("pool: " + ", ".join(f"{k}={v}" for k, v in pool.items()))
+
+    retry = payload.get("retry")
+    if retry:
+        out.append("")
+        parts = [f"{k}={retry[k]}"
+                 for k in ("attempts", "retries", "timeouts", "crashes",
+                           "worker_errors", "corrupt_returns", "bisections")
+                 if k in retry]
+        budget = retry.get("budget") or {}
+        parts.append(f"budget={budget.get('spent', 0)}/{budget.get('limit', 0)}")
+        out.append("retry: " + ", ".join(parts))
+        if retry.get("quarantined"):
+            out.append("  quarantined: " + ", ".join(retry["quarantined"]))
+    degraded = payload.get("degraded")
+    if degraded:
+        out.append("degraded: " + ", ".join(f"{k}={v}"
+                                            for k, v in degraded.items()))
+    checkpoint = payload.get("checkpoint")
+    if checkpoint and checkpoint.get("enabled"):
+        out.append("checkpoint: " + ", ".join(f"{k}={v}"
+                                              for k, v in checkpoint.items()))
     out.append("")
     return "\n".join(out)
 

@@ -13,6 +13,7 @@ skip even the first render of each class.
 from __future__ import annotations
 
 import json
+import os
 from collections import OrderedDict
 
 from ..io import atomic_write_json
@@ -30,6 +31,7 @@ class RenderCache:
         self.misses = 0
         self.evictions = 0
         self.disk_loads = 0
+        self.corrupt_entries = 0
         self._store: OrderedDict[str, str] = OrderedDict()
         if disk_path and not disabled:
             self._load_disk()
@@ -53,6 +55,9 @@ class RenderCache:
 
     def record_disk_load(self, n: int = 1) -> None:
         self.disk_loads += n
+
+    def record_corrupt_entry(self, n: int = 1) -> None:
+        self.corrupt_entries += n
 
     # -- core ---------------------------------------------------------------
     def get(self, key: str) -> str | None:
@@ -102,6 +107,7 @@ class RenderCache:
             "disabled": self.disabled,
             "evictions": self.evictions,
             "disk_loads": self.disk_loads,
+            "corrupt_entries": self.corrupt_entries,
         }
 
     def reset_stats(self) -> None:
@@ -109,26 +115,43 @@ class RenderCache:
         self.misses = 0
         self.evictions = 0
         self.disk_loads = 0
+        self.corrupt_entries = 0
 
     # -- disk persistence ---------------------------------------------------
+    def _quarantine_disk(self) -> None:
+        """Move an unreadable cache file aside as ``<path>.corrupt`` so
+        the *next* persist starts clean instead of re-reading (and
+        re-ignoring) the same broken bytes forever — and so operators can
+        inspect what the crash left behind."""
+        self.record_corrupt_entry()
+        try:
+            os.replace(self.disk_path, self.disk_path + ".corrupt")
+        except OSError:
+            pass  # best-effort: a cold cache is always a safe outcome
+
     def _load_disk(self) -> None:
         # a cache file is an optimization, never a dependency: anything
-        # unreadable (missing, truncated by a crash predating the atomic
-        # writer, wrong shape, permission error) degrades to a cold cache
+        # unreadable (truncated by a crash predating the atomic writer,
+        # wrong shape, undecodable) is quarantined to ``*.corrupt`` and
+        # the cache starts cold; per-entry damage skips just the entry
         try:
             with open(self.disk_path, "r", encoding="utf-8") as fh:
                 payload = json.load(fh)
+        except FileNotFoundError:
+            return
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._quarantine_disk()
             return
-        if not isinstance(payload, dict):
+        if not isinstance(payload, dict) \
+                or not isinstance(payload.get("entries"), dict):
+            self._quarantine_disk()
             return
-        entries = payload.get("entries")
-        if not isinstance(entries, dict):
-            return
-        for key, value in entries.items():
+        for key, value in payload["entries"].items():
             if isinstance(key, str) and isinstance(value, str):
                 self._store[key] = value
                 self.record_disk_load()
+            else:
+                self.record_corrupt_entry()
 
     def persist(self) -> None:
         """Crash-safely write the cache to disk (no-op without a disk path).

@@ -1,4 +1,4 @@
-"""run_study: the deduplicating, cache-backed, instrumented study driver.
+"""run_study: the deduplicating, cache-backed, supervised study driver.
 
 The paper's headline workload is 2093 users x 30 iterations x 7 vectors
 (~440k renders). Because every eFP is a pure function of (vector, stack,
@@ -11,8 +11,18 @@ jitter path), the grid collapses to its distinct equivalence classes:
                 (vector, stack) and render each group as ONE batched pass
                 through the engine's batch axis (graph built once, all
                 jitter paths rendered together — bit-identical to per-class
-                renders, pinned by tests). Groups fan out over a
-                ProcessPoolExecutor as few, fat tasks.
+                renders, pinned by tests). Groups fan out through a
+                ``repro.resilience.SupervisedExecutor``: jobs are submitted
+                individually with per-job deadlines, failed/hung jobs retry
+                with capped deterministic backoff, failing batch groups are
+                bisected to quarantine the poison class, pool death degrades
+                to inline rendering, and a retry budget turns a
+                systematically broken stack into a structured
+                ``StudyExecutionError`` instead of a hang or a
+                ``BrokenProcessPool``. With ``checkpoint_path`` set, rendered
+                eFPs are crash-safely checkpointed every
+                ``checkpoint_every`` completed jobs, so a killed run resumes
+                without re-rendering — byte-identical either way.
   3. ASSEMBLE — build the per-user series by cache lookup only.
 
 With the cache disabled the driver degrades to the honest baseline: one
@@ -30,13 +40,15 @@ per-vector histograms keep one observation per render), the first batch
 per (vector, stack) pair additionally runs under the per-node profiler,
 and pool workers return their measurements as a plain dict riding next
 to the eFPs — the parent folds those into its own recorder, so aggregate
-counters are identical at any worker count.
+counters are identical at any worker count. The supervisor adds
+``retry.*`` / ``degraded.*`` / ``checkpoint.*`` counters, surfaced as
+dedicated run-report sections (schema-checked by ``repro.obs.report``).
 """
 from __future__ import annotations
 
 import os
+import string
 import time
-from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
@@ -44,6 +56,10 @@ from ..io import atomic_write_json
 from ..obs import NULL_RECORDER, Recorder, profile_nodes
 from ..platform.jitter import sample_path, sample_repertoire
 from ..platform.stacks import AudioStack
+from ..resilience import (RetryBudget, RetryPolicy, StudyExecutionError,
+                          SupervisedExecutor, load_checkpoint,
+                          study_fingerprint, write_checkpoint)
+from ..resilience.faults import CORRUPT_EFP, render_fault
 from ..vectors.registry import get_vector
 from .cache import RenderCache
 from .dataset import StudyDataset
@@ -70,6 +86,11 @@ _MEASURE_OFF = 0    # bare render, metrics slot is None
 _MEASURE_TIME = 1   # wall-clock the render
 _MEASURE_NODES = 2  # wall-clock + per-node profile
 
+#: default checkpoint cadence: completed render jobs between snapshots
+_CHECKPOINT_EVERY = 16
+
+_HEX_DIGITS = frozenset(string.hexdigits.lower())
+
 
 def _user_rng(seed: int, user_index: int) -> np.random.Generator:
     return np.random.default_rng(np.random.SeedSequence([seed, _STUDY_STREAM, user_index]))
@@ -80,10 +101,14 @@ def _render_class(job: tuple[str, str, AudioStack, str, int]):
 
     Returns ``(key, efp, metrics)`` where metrics is None unless the job
     asked to be measured — the serializable snapshot the parent merges.
+    ``render_fault`` is the env-gated chaos hook: a no-op (one env
+    lookup) unless ``$REPRO_FAULTS`` names an active fault plan.
     """
     key, vector_name, stack, path, measure = job
+    corrupt = render_fault(key)
     if not measure:
-        return key, get_vector(vector_name).render(stack, path), None
+        efp = get_vector(vector_name).render(stack, path)
+        return key, (CORRUPT_EFP if corrupt else efp), None
     start = time.perf_counter()
     if measure >= _MEASURE_NODES:
         with profile_nodes() as profiler:
@@ -99,7 +124,7 @@ def _render_class(job: tuple[str, str, AudioStack, str, int]):
     if profiler is not None:
         metrics["nodes"] = profiler.seconds
         metrics["node_calls"] = profiler.calls
-    return key, efp, metrics
+    return key, (CORRUPT_EFP if corrupt else efp), metrics
 
 
 def _render_group(job: tuple[str, AudioStack, list, int]):
@@ -108,13 +133,20 @@ def _render_group(job: tuple[str, AudioStack, list, int]):
 
     Returns ``(pairs, metrics)`` where pairs is ``[(key, efp), ...]`` in
     member order and metrics is None unless the job asked to be measured.
+    The chaos hook fires per member key: a crash/hang selected for any
+    member takes the whole group (that is what bisection is for); a
+    corrupt fault poisons only the selected member's row.
     """
     vector_name, stack, members, measure = job
     keys = [key for key, _ in members]
     paths = [path for _, path in members]
+    corrupt_rows = [i for i, key in enumerate(keys) if render_fault(key)]
     vector = get_vector(vector_name)
     if not measure:
-        return list(zip(keys, vector.render_batch(stack, paths))), None
+        efps = vector.render_batch(stack, paths)
+        for i in corrupt_rows:
+            efps[i] = CORRUPT_EFP
+        return list(zip(keys, efps)), None
     start = time.perf_counter()
     if measure >= _MEASURE_NODES:
         with profile_nodes() as profiler:
@@ -131,6 +163,8 @@ def _render_group(job: tuple[str, AudioStack, list, int]):
     if profiler is not None:
         metrics["nodes"] = profiler.seconds
         metrics["node_calls"] = profiler.calls
+    for i in corrupt_rows:
+        efps[i] = CORRUPT_EFP
     return list(zip(keys, efps)), metrics
 
 
@@ -187,6 +221,51 @@ def _group_jobs(keyed_classes, measuring: bool):
             jobs.append((vector_name, stack, members[lo:lo + _MAX_BATCH],
                          measure))
     return jobs
+
+
+# -- supervision plumbing: validate / split / name render jobs ----------------
+
+def _valid_efp(value) -> bool:
+    """eFPs are 32-char lowercase hex md5 digests; anything else is a
+    corrupted worker return."""
+    return isinstance(value, str) and len(value) == 32 \
+        and set(value) <= _HEX_DIGITS
+
+
+def _validate_class_result(job, result) -> bool:
+    key, efp, _metrics = result
+    return key == job[0] and _valid_efp(efp)
+
+
+def _validate_group_result(job, result) -> bool:
+    pairs, _metrics = result
+    members = job[2]
+    if len(pairs) != len(members):
+        return False
+    return all(key == member_key and _valid_efp(efp)
+               for (key, efp), (member_key, _) in zip(pairs, members))
+
+
+def _class_job_keys(job) -> list[str]:
+    return [job[0]]
+
+
+def _group_job_keys(job) -> list[str]:
+    return [key for key, _ in job[2]]
+
+
+def _split_group_job(job):
+    """Bisect a failing batch group so the supervisor can corner the
+    poison member. The first half inherits the parent's measure level
+    (a profiled group keeps exactly one profiled descendant); results
+    stay bit-identical because batch rows never interact."""
+    vector_name, stack, members, measure = job
+    if len(members) < 2:
+        return None
+    mid = len(members) // 2
+    tail_measure = _MEASURE_TIME if measure else _MEASURE_OFF
+    return [(vector_name, stack, members[:mid], measure),
+            (vector_name, stack, members[mid:], tail_measure)]
 
 
 def _absorb_metrics(recorder, metrics: dict) -> None:
@@ -255,22 +334,16 @@ def _plan(devices: list[Device], vectors: tuple[str, ...], iterations: int,
     return item_keys, classes
 
 
-def _render_jobs(worker, jobs, workers: int, pooled: bool, chunk: int):
-    """Run measure-tagged jobs through ``worker``, pooled when it pays off."""
-    if pooled:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            yield from pool.map(worker, jobs, chunksize=chunk)
-    else:
-        for job in jobs:
-            yield worker(job)
-
-
 def run_study(user_count: int, iterations: int = 30,
               vectors: tuple[str, ...] = ("dc", "fft", "hybrid"),
               seed: int = 2021, cache: RenderCache | None = None,
               workers: int | None = None, recorder=None,
               report_path: str | None = None,
-              batched: bool = True) -> StudyDataset:
+              batched: bool = True,
+              checkpoint_path: str | None = None,
+              checkpoint_every: int = _CHECKPOINT_EVERY,
+              retry_policy: RetryPolicy | None = None,
+              retry_budget: int | None = None) -> StudyDataset:
     """Run the synthetic study and return its dataset.
 
     ``workers``: None = auto (cpu count, capped at 8), 0 = render inline.
@@ -282,13 +355,34 @@ def run_study(user_count: int, iterations: int = 30,
     ``batched``: True (default) renders cache misses grouped by
     (vector, stack) through the engine's batch axis; False renders one
     class per task — the serial baseline the benchmark compares against.
+    ``checkpoint_path``: crash-safely checkpoint rendered eFPs here every
+    ``checkpoint_every`` completed render jobs; if the file already holds
+    a checkpoint of *this* study, its classes are not re-rendered
+    (resume). A checkpoint of a different study raises; a torn/corrupt
+    one is quarantined to ``<path>.corrupt`` and the run starts cold.
+    ``retry_policy`` / ``retry_budget``: supervision knobs (see
+    ``repro.resilience``); defaults retry failed or hung render jobs with
+    capped deterministic backoff and give up — raising
+    ``StudyExecutionError`` naming the quarantined classes — once the
+    budget is spent.
     Results are bit-identical regardless of worker count, cache state,
-    batching, or observability.
+    batching, observability, checkpoint resume, or any fault recovery
+    that succeeds.
     """
+    if not isinstance(user_count, int) or isinstance(user_count, bool) \
+            or user_count <= 0:
+        raise ValueError(f"user_count must be a positive integer, "
+                         f"got {user_count!r}")
     if iterations <= 0:
         raise ValueError(f"iterations must be positive, got {iterations}")
     if not vectors:
         raise ValueError("vectors must be non-empty")
+    if workers is not None and workers < 0:
+        raise ValueError(f"workers must be >= 0 (or None for auto), "
+                         f"got {workers}")
+    if checkpoint_every <= 0:
+        raise ValueError(f"checkpoint_every must be positive, "
+                         f"got {checkpoint_every}")
     for name in vectors:
         get_vector(name)  # fail fast on unknown vectors
     if recorder is None:
@@ -307,47 +401,102 @@ def run_study(user_count: int, iterations: int = 30,
             plan_span.set(grid_items=sum(len(k) for k in item_keys.values()),
                           distinct_classes=len(classes))
 
+    checkpoint_info = {"enabled": checkpoint_path is not None, "writes": 0,
+                       "torn_writes": 0, "resumed_classes": 0,
+                       "corrupt_recoveries": 0}
+    fingerprint = study_fingerprint(seed, user_count, iterations, vectors)
+
     with recorder.span("render") as render_span:
+        resumed: dict[str, str] = {}
+        if checkpoint_path is not None:
+            loaded, problem = load_checkpoint(checkpoint_path, fingerprint)
+            if problem is not None:
+                checkpoint_info["corrupt_recoveries"] += 1
+                recorder.count("checkpoint.corrupt")
+            # only classes this study actually plans can be resumed; an
+            # ENGINE_VERSION bump changes every stack key, so stale
+            # checkpoints resume nothing (and re-render everything)
+            resumed = {key: efp for key, efp in loaded.items()
+                       if key in classes}
+            if resumed:
+                checkpoint_info["resumed_classes"] = len(resumed)
+                recorder.count("checkpoint.resumed_classes", len(resumed))
+
         if cache.disabled:
             # honest baseline: one real render per grid item, same pool
             # config as the cached path so benchmark speedups isolate the
             # cache; renders are charged through the miss-counter API
             keyed = [(key, classes[key])
-                     for keys in item_keys.values() for key in keys]
+                     for keys in item_keys.values() for key in keys
+                     if key not in resumed]
             cache.record_miss(len(keyed))
         else:
             with recorder.span("probe"):
-                keyed = [(key, classes[key])
-                         for key in classes if cache.get(key) is None]
+                keyed = [(key, classes[key]) for key in classes
+                         if key not in resumed and cache.get(key) is None]
         if batched:
             jobs = _group_jobs(keyed, measuring)
             threshold = _POOL_GROUP_THRESHOLD
             worker, absorb = _render_group, _absorb_batch_metrics
+            splitter, validator, keys_of = (_split_group_job,
+                                            _validate_group_result,
+                                            _group_job_keys)
         else:
             jobs = _make_jobs(keyed, measuring)
             threshold = _POOL_THRESHOLD
             worker, absorb = _render_class, _absorb_metrics
+            splitter, validator, keys_of = (None, _validate_class_result,
+                                            _class_job_keys)
         pooled = bool(workers and workers > 1 and len(jobs) >= threshold)
-        # chunksize over the job list that actually exists: batch groups
-        # are few and fat, so small job counts get chunk 1 and stay evenly
-        # spread across workers instead of clumping on one
-        chunk = max(1, len(jobs) // (workers * 4)) if pooled else 1
-        rendered: dict[str, str] = {}
-        if batched:
-            for pairs, metrics in _render_jobs(worker, jobs, workers, pooled, chunk):
-                for key, efp in pairs:
+        budget = None if retry_budget is None else RetryBudget(retry_budget)
+        supervisor = SupervisedExecutor(
+            worker, workers=workers if pooled else 0,
+            policy=retry_policy, budget=budget, recorder=recorder,
+            seed=seed, splitter=splitter, validator=validator,
+            keys_of=keys_of)
+
+        rendered: dict[str, str] = dict(resumed)
+        completed_jobs = 0
+
+        def _checkpoint() -> None:
+            if write_checkpoint(checkpoint_path, fingerprint, rendered,
+                                completed_jobs):
+                checkpoint_info["writes"] += 1
+                recorder.count("checkpoint.writes")
+            else:
+                checkpoint_info["torn_writes"] += 1
+                recorder.count("checkpoint.torn_writes")
+
+        try:
+            for result in supervisor.run(jobs):
+                if batched:
+                    pairs, metrics = result
+                    for key, efp in pairs:
+                        rendered[key] = efp
+                else:
+                    key, efp, metrics = result
                     rendered[key] = efp
                 if metrics is not None:
                     absorb(recorder, metrics)
-        else:
-            for key, efp, metrics in _render_jobs(worker, jobs, workers, pooled, chunk):
-                rendered[key] = efp
-                if metrics is not None:
-                    absorb(recorder, metrics)
+                completed_jobs += 1
+                if checkpoint_path is not None \
+                        and completed_jobs % checkpoint_every == 0:
+                    _checkpoint()
+        except StudyExecutionError:
+            # persist everything that DID render before surfacing the
+            # failure: a later run with the stack fixed resumes from here
+            if checkpoint_path is not None:
+                _checkpoint()
+            raise
+        if checkpoint_path is not None:
+            _checkpoint()
         if not cache.disabled:
             for key, efp in rendered.items():
                 cache.put(key, efp)
         lookup = rendered.__getitem__ if cache.disabled else cache.get
+
+    resilience_info = supervisor.summary()
+    resilience_info["checkpoint"] = checkpoint_info
 
     if measuring:
         recorder.count("pool.jobs", len(jobs))
@@ -357,7 +506,8 @@ def run_study(user_count: int, iterations: int = 30,
         pool_info = {
             "workers": workers, "pooled": pooled, "jobs": len(jobs),
             "batched": batched,
-            "chunksize": chunk if pooled else None,
+            "supervised": True,
+            "rebuilds": resilience_info["degraded"]["pool_rebuilds"],
             "busy_s": round(busy_s, 6),
             "utilization": round(busy_s / (render_span.duration_s * lanes), 4)
             if render_span.duration_s > 0 else None,
@@ -385,6 +535,6 @@ def run_study(user_count: int, iterations: int = 30,
                     "grid_items": sum(len(k) for k in item_keys.values()),
                     "distinct_classes": len(classes)}
         report = build_report(recorder, workload, cache_stats=cache.stats(),
-                              pool=pool_info)
+                              pool=pool_info, resilience=resilience_info)
         atomic_write_json(report_path, report, indent=2)
     return dataset

@@ -1,0 +1,36 @@
+"""Structured failures raised (and simulated) by the resilience layer."""
+from __future__ import annotations
+
+
+class StudyExecutionError(RuntimeError):
+    """A supervised run could not complete every render job.
+
+    Raised after the supervisor has drained everything it *could* finish:
+    either specific jobs kept failing past the retry policy (their class
+    keys are quarantined) or the run-wide retry budget ran dry (a
+    systematically broken stack — every remaining job is quarantined
+    instead of hanging forever). Carries enough structure for callers to
+    report, alert, or re-run just the quarantined classes.
+    """
+
+    def __init__(self, message: str, *, quarantined=(),
+                 budget_spent: int = 0, budget_limit: int = 0,
+                 budget_exhausted: bool = False):
+        self.quarantined: list[str] = sorted(quarantined)
+        self.budget_spent = budget_spent
+        self.budget_limit = budget_limit
+        self.budget_exhausted = budget_exhausted
+        preview = ", ".join(self.quarantined[:5])
+        if len(self.quarantined) > 5:
+            preview += f", ... ({len(self.quarantined)} total)"
+        detail = f"{message} [quarantined: {preview or 'none'}; " \
+                 f"retry budget {budget_spent}/{budget_limit}" \
+                 f"{', exhausted' if budget_exhausted else ''}]"
+        super().__init__(detail)
+
+
+class SimulatedWorkerCrash(RuntimeError):
+    """Stand-in for a hard worker death when the fault injector fires in
+    the supervising process itself (inline rendering): ``os._exit`` there
+    would kill the study, so the crash degrades to an exception the
+    supervisor handles through the same retry path."""

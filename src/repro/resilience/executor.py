@@ -1,0 +1,342 @@
+"""SupervisedExecutor: the fault-tolerant replacement for bare
+``ProcessPoolExecutor.map`` in the study's RENDER phase.
+
+Supervision model (one loop, four recovery paths):
+
+* **Individual submission + per-job deadlines.** Jobs are submitted one
+  future at a time (bounded in-flight backlog), each stamped with a
+  wall-clock deadline. ``map`` offers neither; with it, one bad job
+  aborts the whole iterator.
+* **Retry with capped exponential backoff.** A failed job re-enters the
+  queue after a seed-deterministic jittered delay (``RetryPolicy``);
+  every re-submission spends the run-wide ``RetryBudget``, so a
+  systematically broken workload terminates instead of retrying forever.
+* **Bisection.** A *splittable* job (a batch group) that keeps failing is
+  cut in half: the poison member is cornered in O(log n) splits while its
+  healthy siblings render normally, instead of the whole group dying
+  together.
+* **Degradation.** A worker crash breaks the entire pool
+  (``BrokenProcessPool``) — the supervisor harvests whatever results
+  completed, charges the in-flight jobs, and rebuilds the pool. A hung
+  worker (deadline overrun) gets its pool terminated the same way. Past
+  ``max_pool_rebuilds`` the supervisor stops trusting pools entirely and
+  renders inline in the supervising process.
+
+Jobs that exhaust their attempts (or the budget) are *quarantined*: the
+run completes everything else, then raises ``StudyExecutionError`` naming
+the quarantined class keys. A fault-free run takes none of these paths
+and yields exactly one result per job — bit-identical, same-order
+metrics, any worker count.
+"""
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, \
+    ProcessPoolExecutor, wait
+
+from ..obs import NULL_RECORDER
+from .errors import SimulatedWorkerCrash, StudyExecutionError
+from .policy import RetryBudget, RetryPolicy
+
+#: failure kind -> recorder counter
+_FAIL_COUNTERS = {
+    "crash": "retry.crashes",
+    "timeout": "retry.timeouts",
+    "corrupt": "retry.corrupt_returns",
+    "error": "retry.worker_errors",
+}
+
+
+class _JobState:
+    __slots__ = ("job", "failures", "not_before", "token")
+
+    def __init__(self, job, token: str):
+        self.job = job
+        self.failures = 0
+        self.not_before = 0.0
+        self.token = token
+
+
+class SupervisedExecutor:
+    """Runs picklable ``worker(job)`` calls to completion under the
+    supervision model above. ``run`` is a generator yielding results in
+    completion order (callers must not depend on ordering)."""
+
+    def __init__(self, worker, *, workers: int = 0,
+                 policy: RetryPolicy | None = None,
+                 budget: RetryBudget | None = None,
+                 recorder=NULL_RECORDER, seed: int = 0,
+                 splitter=None, validator=None, keys_of=None,
+                 sleep=time.sleep, clock=time.monotonic):
+        self._worker = worker
+        self.workers = max(0, workers)
+        self.policy = policy or RetryPolicy()
+        self.budget = budget
+        self._recorder = recorder
+        # the null-recorder fast path is a study-wide contract: a disabled
+        # recorder sees ZERO per-job calls, so supervision metrics go
+        # through this flag (the plain-dict summary() is always kept)
+        self._measuring = bool(getattr(recorder, "enabled", False))
+        self._seed = seed
+        self._splitter = splitter
+        self._validator = validator
+        self._keys_of = keys_of or (lambda job: [repr(job)])
+        self._sleep = sleep
+        self._clock = clock
+        self._quarantined: list[str] = []
+        self._counts = {"attempts": 0, "retries": 0, "timeouts": 0,
+                        "crashes": 0, "worker_errors": 0,
+                        "corrupt_returns": 0, "bisections": 0,
+                        "pool_rebuilds": 0}
+        self._inline_fallback = False
+
+    # -- public surface ------------------------------------------------------
+    def run(self, jobs):
+        """Yield one result per job that completes; raise
+        ``StudyExecutionError`` at the end if any job was quarantined."""
+        jobs = list(jobs)
+        if self.budget is None:
+            self.budget = RetryBudget.for_jobs(len(jobs))
+        states = deque(_JobState(job, self._keys_of(job)[0]) for job in jobs)
+        if self.workers > 1 and states:
+            yield from self._run_pooled(states)
+        else:
+            yield from self._run_inline(states)
+        if self._quarantined:
+            raise StudyExecutionError(
+                "supervised execution gave up on "
+                f"{len(self._quarantined)} render class(es)",
+                quarantined=self._quarantined,
+                budget_spent=self.budget.spent,
+                budget_limit=self.budget.limit,
+                budget_exhausted=self.budget.exhausted)
+
+    def summary(self) -> dict:
+        """Report-shaped snapshot: the ``retry`` and ``degraded`` sections
+        of the run report (see ``repro.obs.report``)."""
+        c = self._counts
+        return {
+            "retry": {
+                "attempts": c["attempts"], "retries": c["retries"],
+                "timeouts": c["timeouts"], "crashes": c["crashes"],
+                "worker_errors": c["worker_errors"],
+                "corrupt_returns": c["corrupt_returns"],
+                "bisections": c["bisections"],
+                "quarantined": sorted(self._quarantined),
+                "budget": {
+                    "limit": self.budget.limit if self.budget else 0,
+                    "spent": self.budget.spent if self.budget else 0,
+                    "exhausted": bool(self.budget and self.budget.exhausted),
+                },
+            },
+            "degraded": {
+                "pool_rebuilds": c["pool_rebuilds"],
+                "inline_fallback": self._inline_fallback,
+            },
+        }
+
+    # -- shared failure handling ---------------------------------------------
+    def _record_attempt(self) -> None:
+        self._counts["attempts"] += 1
+        if self._measuring:
+            self._recorder.count("retry.attempts")
+
+    def _fail(self, state: _JobState, kind: str, states: deque) -> None:
+        """One failed attempt: count it, then bisect, quarantine, or
+        schedule a backed-off retry."""
+        counter_key = {"crash": "crashes", "timeout": "timeouts",
+                       "corrupt": "corrupt_returns",
+                       "error": "worker_errors"}[kind]
+        self._counts[counter_key] += 1
+        if self._measuring:
+            self._recorder.count(_FAIL_COUNTERS[kind])
+        state.failures += 1
+
+        if self._splitter is not None \
+                and state.failures >= self.policy.bisect_after:
+            halves = self._splitter(state.job)
+            if halves and len(halves) > 1:
+                self._counts["bisections"] += 1
+                if self._measuring:
+                    self._recorder.count("retry.bisections")
+                for sub in reversed(halves):
+                    states.appendleft(_JobState(sub, self._keys_of(sub)[0]))
+                return
+
+        if state.failures >= self.policy.max_attempts \
+                or not self.budget.try_spend():
+            keys = self._keys_of(state.job)
+            self._quarantined.extend(keys)
+            if self._measuring:
+                self._recorder.count("retry.quarantined", len(keys))
+            return
+
+        delay = self.policy.backoff_delay(state.failures, self._seed,
+                                          state.token)
+        self._counts["retries"] += 1
+        if self._measuring:
+            self._recorder.count("retry.retries")
+            self._recorder.observe("retry.backoff_s", delay)
+        state.not_before = self._clock() + delay
+        states.append(state)
+
+    def _classify(self, exc: BaseException) -> str:
+        return "crash" if isinstance(exc, (BrokenExecutor, SimulatedWorkerCrash)) \
+            else "error"
+
+    def _valid(self, state: _JobState, result) -> bool:
+        if self._validator is None:
+            return True
+        try:
+            return bool(self._validator(state.job, result))
+        except Exception:
+            return False
+
+    def _pop_ready(self, states: deque, now: float) -> _JobState | None:
+        """Next state whose backoff has elapsed (scans the queue once)."""
+        for _ in range(len(states)):
+            state = states.popleft()
+            if state.not_before <= now:
+                return state
+            states.append(state)
+        return None
+
+    # -- inline execution ----------------------------------------------------
+    def _run_inline(self, states: deque):
+        """Render in the supervising process: the degraded path (and the
+        natural one for small/unpooled runs). No deadlines — a genuine
+        hang here is a genuine hang of the caller — but crashes surface
+        as exceptions and go through the same retry machinery."""
+        while states:
+            now = self._clock()
+            state = self._pop_ready(states, now)
+            if state is None:
+                self._sleep(max(0.0, min(s.not_before for s in states) - now))
+                continue
+            self._record_attempt()
+            try:
+                result = self._worker(state.job)
+            except Exception as exc:
+                self._fail(state, self._classify(exc), states)
+                continue
+            if not self._valid(state, result):
+                self._fail(state, "corrupt", states)
+                continue
+            yield result
+
+    # -- pooled execution ----------------------------------------------------
+    def _new_pool(self) -> ProcessPoolExecutor | None:
+        try:
+            return ProcessPoolExecutor(max_workers=self.workers)
+        except Exception:
+            return None
+
+    def _rebuild_pool(self, pool) -> ProcessPoolExecutor | None:
+        """Tear down a broken/wedged pool; a fresh one, or None once the
+        rebuild allowance is spent (inline fallback)."""
+        if pool is not None:
+            for process in list(getattr(pool, "_processes", {}).values()):
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+            pool.shutdown(wait=False, cancel_futures=True)
+        self._counts["pool_rebuilds"] += 1
+        if self._measuring:
+            self._recorder.count("degraded.pool_rebuilds")
+        if self._counts["pool_rebuilds"] > self.policy.max_pool_rebuilds:
+            return None
+        return self._new_pool()
+
+    def _run_pooled(self, states: deque):
+        pool = self._new_pool()
+        in_flight: dict = {}  # future -> (state, deadline)
+        try:
+            while states or in_flight:
+                if pool is None:
+                    # pool death past the rebuild allowance: drain what is
+                    # left inline, in this process
+                    if not self._inline_fallback:
+                        self._inline_fallback = True
+                        if self._measuring:
+                            self._recorder.count("degraded.inline_fallbacks")
+                    for _, (state, _) in in_flight.items():
+                        states.append(state)
+                    in_flight.clear()
+                    yield from self._run_inline(states)
+                    return
+
+                now = self._clock()
+                while states and len(in_flight) < 2 * self.workers:
+                    state = self._pop_ready(states, now)
+                    if state is None:
+                        break
+                    self._record_attempt()
+                    try:
+                        future = pool.submit(self._worker, state.job)
+                    except (BrokenExecutor, RuntimeError):
+                        self._fail(state, "crash", states)
+                        pool = self._rebuild_pool(pool)
+                        break
+                    in_flight[future] = (state, now + self.policy.job_deadline_s)
+                if pool is None or not in_flight:
+                    if states and not in_flight:
+                        # everything queued is backing off — wait it out
+                        now = self._clock()
+                        self._sleep(max(0.0, min(s.not_before
+                                                 for s in states) - now))
+                    continue
+
+                # wake at the earliest interesting instant: a job deadline
+                # or a backed-off job becoming ready for a free slot
+                wake_at = min(d for _, d in in_flight.values())
+                if states and len(in_flight) < 2 * self.workers:
+                    wake_at = min(wake_at,
+                                  min(s.not_before for s in states))
+                done, _ = wait(in_flight.keys(),
+                               timeout=max(0.0, wake_at - self._clock()),
+                               return_when=FIRST_COMPLETED)
+
+                pool_broken = False
+                for future in done:
+                    state, _ = in_flight.pop(future)
+                    try:
+                        result = future.result()
+                    except Exception as exc:
+                        kind = self._classify(exc)
+                        pool_broken = pool_broken or kind == "crash"
+                        self._fail(state, kind, states)
+                        continue
+                    if not self._valid(state, result):
+                        self._fail(state, "corrupt", states)
+                        continue
+                    yield result
+
+                if pool_broken:
+                    # the pool died under the remaining in-flight jobs too:
+                    # charge them and start a fresh pool
+                    for future, (state, _) in in_flight.items():
+                        self._fail(state, "crash", states)
+                    in_flight.clear()
+                    pool = self._rebuild_pool(pool)
+                    continue
+
+                now = self._clock()
+                expired = [f for f, (_, deadline) in in_flight.items()
+                           if now >= deadline]
+                if expired:
+                    # a worker blew its deadline: presume it hung. There is
+                    # no cancelling a running task, so the whole pool goes;
+                    # the overdue jobs are charged, innocent in-flight
+                    # siblings are requeued free of charge.
+                    for future in expired:
+                        state, _ = in_flight.pop(future)
+                        self._fail(state, "timeout", states)
+                    for future, (state, _) in in_flight.items():
+                        states.append(state)
+                    in_flight.clear()
+                    pool = self._rebuild_pool(pool)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)

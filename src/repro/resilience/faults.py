@@ -1,0 +1,203 @@
+"""Deterministic fault injection for the supervised render pipeline.
+
+A ``FaultPlan`` is a seed-deterministic description of *which* render
+class keys misbehave and *how*: worker crash (``os._exit`` mid-render),
+hang (sleep past the supervisor's deadline), corrupted return value,
+render delay (chaos pacing), or a torn checkpoint write. Plans are
+env-gated: ``run_study`` and its pool workers consult ``$REPRO_FAULTS``
+(a path to a saved plan) on each render, so production runs pay one env
+lookup and nothing else, while chaos tests flip faults on without
+touching any call site.
+
+Determinism has two halves:
+
+* **Selection** is a pure function of ``(plan seed, fault kind, key)`` —
+  an 8-byte SHA-256 draw compared against the configured fraction (or an
+  explicit key list). The same plan always picks the same classes, at
+  any worker count and in any execution order.
+* **Occurrence counting** uses a filesystem ledger next to the plan
+  file: firing occurrence ``i`` of a fault atomically claims
+  ``<digest>.<i>`` with ``O_CREAT|O_EXCL``, which is race-free across
+  pool workers and — crucially — survives the very crash it triggers, so
+  "crash the first attempt of class X" fires exactly once no matter how
+  the retry lands. ``times=None`` means "always" (permanent poison).
+
+Crash faults fire for real (``os._exit``) only in pool workers; in the
+supervising process (inline rendering) they degrade to
+``SimulatedWorkerCrash`` so the study itself survives to retry.
+"""
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+from ..io import atomic_write_json
+from .errors import SimulatedWorkerCrash
+
+ENV_VAR = "REPRO_FAULTS"
+
+FAULT_KINDS = ("crash", "hang", "corrupt", "delay", "torn_checkpoint")
+
+#: what a corrupted worker return looks like — deliberately not a valid
+#: 32-hex eFP digest, so result validation catches it
+CORRUPT_EFP = "corrupted-return"
+
+
+@dataclass(frozen=True)
+class Fault:
+    kind: str                      # one of FAULT_KINDS
+    fraction: float = 0.0          # seed-deterministic share of keys hit
+    keys: tuple[str, ...] = ()     # ... or an explicit key list
+    times: int | None = 1          # occurrences per key; None = always
+    seconds: float = 0.0           # sleep length for hang/delay
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} "
+                             f"(expected one of {FAULT_KINDS})")
+        if self.times is not None and self.times < 1:
+            raise ValueError(f"times must be >= 1 or None, got {self.times}")
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "fraction": self.fraction,
+                "keys": list(self.keys), "times": self.times,
+                "seconds": self.seconds}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Fault":
+        return cls(kind=payload["kind"],
+                   fraction=float(payload.get("fraction", 0.0)),
+                   keys=tuple(payload.get("keys", ())),
+                   times=payload.get("times"),
+                   seconds=float(payload.get("seconds", 0.0)))
+
+
+@dataclass
+class FaultPlan:
+    seed: int = 0
+    faults: tuple[Fault, ...] = ()
+    ledger_dir: str | None = None
+    parent_pid: int | None = None
+    path: str | None = field(default=None, compare=False)
+
+    # -- persistence ---------------------------------------------------------
+    def save(self, path: str) -> str:
+        """Write the plan (and create its occurrence ledger) so workers
+        can load it through ``$REPRO_FAULTS``. Records the saving pid as
+        the supervising parent — crash faults in that pid are simulated,
+        in any other pid they are real ``os._exit`` deaths."""
+        ledger = self.ledger_dir or path + ".ledger"
+        os.makedirs(ledger, exist_ok=True)
+        self.ledger_dir = ledger
+        self.parent_pid = os.getpid()
+        self.path = path
+        atomic_write_json(path, {
+            "format": 1, "seed": self.seed, "parent_pid": self.parent_pid,
+            "ledger_dir": ledger,
+            "faults": [f.to_dict() for f in self.faults],
+        })
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        return cls(seed=int(payload["seed"]),
+                   faults=tuple(Fault.from_dict(f) for f in payload["faults"]),
+                   ledger_dir=payload["ledger_dir"],
+                   parent_pid=payload.get("parent_pid"),
+                   path=path)
+
+    # -- selection / occurrence ledger ---------------------------------------
+    def _selected(self, fault: Fault, key: str) -> bool:
+        if key in fault.keys:
+            return True
+        if fault.fraction <= 0.0:
+            return False
+        digest = hashlib.sha256(
+            f"{self.seed}|{fault.kind}|{key}".encode()).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64 < fault.fraction
+
+    def _claim(self, index: int, fault: Fault, key: str) -> bool:
+        """Atomically claim the next unfired occurrence of (fault, key);
+        False once the fault has fired ``times`` times already."""
+        if fault.times is None:
+            return True
+        digest = hashlib.sha256(f"{index}|{key}".encode()).hexdigest()[:24]
+        for occurrence in range(fault.times):
+            marker = os.path.join(self.ledger_dir, f"{digest}.{occurrence}")
+            try:
+                os.close(os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+                return True
+            except FileExistsError:
+                continue
+        return False
+
+    # -- firing --------------------------------------------------------------
+    def fire_render_fault(self, key: str) -> bool:
+        """Run crash/hang/delay faults for one render of ``key``; return
+        True when the render's result must be corrupted."""
+        corrupt = False
+        for index, fault in enumerate(self.faults):
+            if fault.kind == "torn_checkpoint" or not self._selected(fault, key):
+                continue
+            if not self._claim(index, fault, key):
+                continue
+            if fault.kind in ("hang", "delay"):
+                time.sleep(fault.seconds)
+            elif fault.kind == "corrupt":
+                corrupt = True
+            elif fault.kind == "crash":
+                if self.parent_pid is not None and os.getpid() == self.parent_pid:
+                    raise SimulatedWorkerCrash(f"injected crash rendering {key}")
+                os._exit(13)
+        return corrupt
+
+    def fire_torn_checkpoint(self, path: str, text: str) -> bool:
+        """If a torn-checkpoint fault is due, leave a truncated
+        (non-atomic, invalid-JSON) file at ``path`` — exactly what a
+        crash mid-write through a *naive* writer would leave — and tell
+        the caller to skip the real write."""
+        for index, fault in enumerate(self.faults):
+            if fault.kind != "torn_checkpoint":
+                continue
+            if not self._claim(index, fault, "checkpoint"):
+                continue
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text[:max(1, len(text) // 3)])
+            return True
+        return False
+
+
+# -- the env-gated hook (the only thing hot paths touch) ----------------------
+
+_plan_cache: dict[str, FaultPlan] = {}
+
+
+def active_plan() -> FaultPlan | None:
+    """The plan named by ``$REPRO_FAULTS``, or None. Cached per path —
+    pool workers load it once and reuse it for every render."""
+    path = os.environ.get(ENV_VAR)
+    if not path:
+        return None
+    plan = _plan_cache.get(path)
+    if plan is None:
+        plan = _plan_cache[path] = FaultPlan.load(path)
+    return plan
+
+
+def render_fault(key: str) -> bool:
+    """Hook called by the render workers per class key. Returns True when
+    the caller must corrupt its result (simulating a bad return)."""
+    plan = active_plan()
+    return plan.fire_render_fault(key) if plan is not None else False
+
+
+def torn_checkpoint(path: str, text: str) -> bool:
+    """Hook called by the checkpoint writer. True = a torn file was left
+    at ``path`` and the real write must be skipped."""
+    plan = active_plan()
+    return plan.fire_torn_checkpoint(path, text) if plan is not None else False

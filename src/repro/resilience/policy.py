@@ -1,0 +1,80 @@
+"""Retry policy: capped exponential backoff with deterministic jitter,
+plus the run-wide retry budget.
+
+Backoff jitter is *seed-derived*, not random: the delay for attempt ``n``
+of job ``token`` is a pure function of ``(seed, token, n)``, so a rerun
+of the same study with the same faults waits the same schedule — chaos
+tests stay reproducible and two workers never need a shared clock to
+avoid thundering-herd resubmission (their tokens differ, so their jitter
+does too).
+"""
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+def _unit_interval(seed: int, token: str, attempt: int) -> float:
+    """Deterministic u in [0, 1) from (seed, token, attempt)."""
+    digest = hashlib.sha256(f"{seed}|{token}|{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Knobs for one supervised run. Defaults favour tests and the paper
+    workload: renders are sub-second, so deadlines/delays stay small."""
+
+    #: failures of one job before it is quarantined (splittable jobs are
+    #: bisected first, see ``bisect_after``)
+    max_attempts: int = 4
+    #: failures of one *splittable* job before it is bisected into halves
+    #: to isolate the poison member from its healthy siblings
+    bisect_after: int = 2
+    #: backoff: base * factor**(failures-1), capped, jittered
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    backoff_factor: float = 2.0
+    jitter_fraction: float = 0.25
+    #: per-job wall-clock deadline once submitted to the pool; a job still
+    #: running past it is presumed hung and its pool is torn down
+    job_deadline_s: float = 60.0
+    #: pool rebuilds tolerated before degrading to inline rendering
+    max_pool_rebuilds: int = 3
+
+    def backoff_delay(self, failures: int, seed: int, token: str) -> float:
+        """Delay before re-submitting a job that has failed ``failures``
+        times — capped exponential plus deterministic jitter."""
+        base = self.base_delay_s * self.backoff_factor ** max(0, failures - 1)
+        base = min(base, self.max_delay_s)
+        jitter = self.jitter_fraction * _unit_interval(seed, token, failures)
+        return base * (1.0 + jitter)
+
+
+class RetryBudget:
+    """Caps total retry work across a run. Every *re*-submission spends
+    one unit; once the budget is dry no job is retried again — remaining
+    failures quarantine immediately, bounding worst-case runtime."""
+
+    def __init__(self, limit: int):
+        if limit < 0:
+            raise ValueError(f"retry budget must be >= 0, got {limit}")
+        self.limit = limit
+        self.spent = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.spent >= self.limit
+
+    def try_spend(self, n: int = 1) -> bool:
+        """Reserve ``n`` retries; False (and no spend) if that would
+        overrun the budget."""
+        if self.spent + n > self.limit:
+            return False
+        self.spent += n
+        return True
+
+    @classmethod
+    def for_jobs(cls, job_count: int) -> "RetryBudget":
+        """Default sizing: generous for small runs, linear at scale."""
+        return cls(max(32, 4 * job_count))

@@ -46,6 +46,55 @@ class TestAtomicWriteHelpers:
         assert path.read_text() == "old complete contents"
         assert list(tmp_path.iterdir()) == [path]
 
+    def test_failed_replace_cleans_up_temp_file(self, tmp_path, monkeypatch):
+        """The rename itself failing (read-only target dir, ENOSPC on some
+        filesystems) must not strand the fully-written temp file."""
+        path = tmp_path / "x.json"
+        atomic_write_text(str(path), "old complete contents")
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated replace failure")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated replace"):
+            atomic_write_text(str(path), "never lands")
+        monkeypatch.undo()
+        assert path.read_text() == "old complete contents"
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_unlink_failure_does_not_mask_write_error(self, tmp_path,
+                                                      monkeypatch):
+        """When cleanup itself fails, the caller still sees the original
+        write error, not the secondary unlink error."""
+        path = tmp_path / "x.json"
+        monkeypatch.setattr(os, "fsync", lambda fd: (_ for _ in ()).throw(
+            OSError("the real failure")))
+        monkeypatch.setattr(os, "unlink", lambda p: (_ for _ in ()).throw(
+            OSError("cleanup also failed")))
+        with pytest.raises(OSError, match="the real failure"):
+            atomic_write_text(str(path), "doomed")
+
+    def test_fdopen_failure_closes_descriptor(self, tmp_path, monkeypatch):
+        """If wrapping the raw fd fails, the fd is closed (no descriptor
+        leak) and no temp file is left behind."""
+        closed = []
+        real_close = os.close
+
+        def counting_close(fd):
+            closed.append(fd)
+            real_close(fd)
+
+        def exploding_fdopen(fd, *args, **kwargs):
+            monkeypatch.setattr(os, "close", counting_close)
+            raise LookupError("unknown encoding: simulated")
+
+        monkeypatch.setattr(os, "fdopen", exploding_fdopen)
+        with pytest.raises(LookupError):
+            atomic_write_text(str(tmp_path / "x.json"), "text")
+        monkeypatch.undo()
+        assert len(closed) == 1
+        assert list(tmp_path.iterdir()) == []
+
 
 class TestDatasetSave:
     def test_torn_save_keeps_previous_dataset(self, tmp_path):

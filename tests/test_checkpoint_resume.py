@@ -1,0 +1,186 @@
+"""Checkpoint/resume coverage: crash-safe snapshots during the render
+phase, resume of a killed run (simulated truncation AND a real SIGKILL),
+torn-write and corrupt-checkpoint quarantine, and the refusal to resume a
+checkpoint that belongs to a different study."""
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro import Recorder, RenderCache, run_study
+from repro.resilience import (CHECKPOINT_FORMAT, CHECKPOINT_KIND, Fault,
+                              FaultPlan, study_fingerprint, write_checkpoint)
+from repro.resilience.faults import ENV_VAR
+
+STUDY = dict(user_count=5, iterations=3, vectors=("dc", "fft"), seed=7)
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_fault_plan(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+
+
+@pytest.fixture(scope="module")
+def clean():
+    mp = pytest.MonkeyPatch()
+    mp.delenv(ENV_VAR, raising=False)
+    try:
+        dataset = run_study(workers=0, **STUDY)
+    finally:
+        mp.undo()
+    return dataset
+
+
+def _bytes_of(dataset, tmp_path, name):
+    path = tmp_path / name
+    dataset.save(str(path))
+    return path.read_bytes()
+
+
+class TestCheckpointWriting:
+    def test_checkpoint_written_with_study_fingerprint(self, clean, tmp_path):
+        ckpt = tmp_path / "study.ckpt"
+        recorder = Recorder()
+        dataset = run_study(workers=0, checkpoint_path=str(ckpt),
+                            checkpoint_every=1, recorder=recorder, **STUDY)
+        assert dataset == clean
+        payload = json.loads(ckpt.read_text())
+        assert payload["kind"] == CHECKPOINT_KIND
+        assert payload["format"] == CHECKPOINT_FORMAT
+        assert payload["study"] == study_fingerprint(
+            STUDY["seed"], STUDY["user_count"], STUDY["iterations"],
+            STUDY["vectors"])
+        assert payload["rendered"]  # holds the full render map at the end
+        assert recorder.counters["checkpoint.writes"] >= 1
+
+    def test_resume_of_complete_checkpoint_renders_nothing(self, clean,
+                                                           tmp_path):
+        ckpt = tmp_path / "study.ckpt"
+        run_study(workers=0, checkpoint_path=str(ckpt), **STUDY)
+        recorder = Recorder()
+        dataset = run_study(workers=0, checkpoint_path=str(ckpt),
+                            cache=RenderCache(), recorder=recorder, **STUDY)
+        assert dataset == clean
+        assert recorder.counters["checkpoint.resumed_classes"] >= 1
+        # nothing re-rendered
+        assert recorder.counters.get("retry.attempts", 0) == 0
+
+
+class TestKillResume:
+    def test_truncated_checkpoint_resumes_byte_identical(self, clean,
+                                                         tmp_path):
+        """Simulated mid-run kill: keep only half the checkpoint's render
+        map, resume, and require byte-identical output plus strictly less
+        render work than a cold run."""
+        ckpt = tmp_path / "study.ckpt"
+        run_study(workers=0, checkpoint_path=str(ckpt), **STUDY)
+        payload = json.loads(ckpt.read_text())
+        keys = sorted(payload["rendered"])
+        kept = {k: payload["rendered"][k] for k in keys[:len(keys) // 2]}
+        payload["rendered"] = kept
+        ckpt.write_text(json.dumps(payload))
+
+        recorder = Recorder()
+        dataset = run_study(workers=0, checkpoint_path=str(ckpt),
+                            cache=RenderCache(), recorder=recorder, **STUDY)
+        assert _bytes_of(dataset, tmp_path, "resumed.json") == \
+            _bytes_of(clean, tmp_path, "clean.json")
+        assert recorder.counters["checkpoint.resumed_classes"] == len(kept)
+        # the resumed run rendered only the missing classes
+        cold = Recorder()
+        run_study(workers=0, cache=RenderCache(), recorder=cold, **STUDY)
+        assert recorder.counters["retry.attempts"] < \
+            cold.counters["retry.attempts"]
+
+    def test_sigkill_mid_render_then_resume(self, clean, tmp_path):
+        """The real thing: a child process running the study (slowed by a
+        delay fault) is SIGKILLed once its first checkpoint lands; the
+        resumed run completes and matches the fault-free dataset."""
+        plan = FaultPlan(seed=1, faults=(
+            Fault(kind="delay", fraction=1.0, times=None, seconds=0.25),))
+        plan_path = plan.save(str(tmp_path / "slow.json"))
+        ckpt = tmp_path / "study.ckpt"
+        script = tmp_path / "child.py"
+        script.write_text(textwrap.dedent(f"""
+            from repro import run_study
+            run_study(user_count={STUDY['user_count']},
+                      iterations={STUDY['iterations']},
+                      vectors={STUDY['vectors']!r}, seed={STUDY['seed']},
+                      workers=0, checkpoint_path={str(ckpt)!r},
+                      checkpoint_every=1)
+        """))
+        env = dict(os.environ, PYTHONPATH=REPO_SRC)
+        env[ENV_VAR] = plan_path
+        child = subprocess.Popen([sys.executable, str(script)], env=env)
+        try:
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if ckpt.exists() and child.poll() is None:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("child never wrote a checkpoint")
+            os.kill(child.pid, signal.SIGKILL)
+        finally:
+            child.wait(timeout=30)
+
+        recorder = Recorder()
+        dataset = run_study(workers=0, checkpoint_path=str(ckpt),
+                            recorder=recorder, **STUDY)
+        assert _bytes_of(dataset, tmp_path, "resumed.json") == \
+            _bytes_of(clean, tmp_path, "clean.json")
+        assert recorder.counters["checkpoint.resumed_classes"] >= 1
+
+
+class TestCheckpointDefenses:
+    def test_torn_write_fault_is_counted_and_survivable(self, clean,
+                                                        monkeypatch,
+                                                        tmp_path):
+        plan = FaultPlan(seed=3,
+                         faults=(Fault(kind="torn_checkpoint", times=1),))
+        monkeypatch.setenv(ENV_VAR, plan.save(str(tmp_path / "torn.json")))
+        ckpt = tmp_path / "study.ckpt"
+        recorder = Recorder()
+        dataset = run_study(workers=0, checkpoint_path=str(ckpt),
+                            checkpoint_every=1, recorder=recorder, **STUDY)
+        assert dataset == clean
+        assert recorder.counters["checkpoint.torn_writes"] == 1
+        assert recorder.counters["checkpoint.writes"] >= 1
+        # the last (untorn) write healed the file
+        assert json.loads(ckpt.read_text())["kind"] == CHECKPOINT_KIND
+
+    def test_corrupt_checkpoint_quarantined_and_run_starts_cold(self, clean,
+                                                                tmp_path):
+        ckpt = tmp_path / "study.ckpt"
+        ckpt.write_text('{"kind": "repro.study.checkpo')  # torn JSON
+        recorder = Recorder()
+        dataset = run_study(workers=0, checkpoint_path=str(ckpt),
+                            recorder=recorder, **STUDY)
+        assert dataset == clean
+        assert recorder.counters["checkpoint.corrupt"] == 1
+        quarantined = tmp_path / "study.ckpt.corrupt"
+        assert quarantined.exists()
+        assert quarantined.read_text().startswith('{"kind"')
+
+    def test_checkpoint_of_different_study_refuses_to_resume(self, tmp_path):
+        ckpt = tmp_path / "study.ckpt"
+        other = study_fingerprint(STUDY["seed"] + 1, STUDY["user_count"],
+                                  STUDY["iterations"], STUDY["vectors"])
+        write_checkpoint(str(ckpt), other, {"k": "e"}, completed_jobs=1)
+        with pytest.raises(ValueError, match="seed"):
+            run_study(workers=0, checkpoint_path=str(ckpt), **STUDY)
+
+    def test_foreign_structure_quarantined_not_trusted(self, clean, tmp_path):
+        ckpt = tmp_path / "study.ckpt"
+        ckpt.write_text(json.dumps({"kind": "something-else",
+                                    "rendered": {"x": "y"}}))
+        dataset = run_study(workers=0, checkpoint_path=str(ckpt), **STUDY)
+        assert dataset == clean
+        assert (tmp_path / "study.ckpt.corrupt").exists()

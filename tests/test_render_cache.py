@@ -156,6 +156,51 @@ class TestDisk:
         cache = RenderCache(disk_path=str(path))
         assert len(cache) == 0
 
+    def test_corrupt_file_quarantined_and_counted(self, tmp_path):
+        """A broken cache file is moved aside as ``*.corrupt`` (so the
+        next persist starts clean and the wreckage stays inspectable) and
+        shows up in ``stats()``."""
+        path = tmp_path / "render_cache.json"
+        path.write_text("{not json")
+        cache = RenderCache(disk_path=str(path))
+        assert cache.stats()["corrupt_entries"] == 1
+        assert not path.exists()
+        quarantined = tmp_path / "render_cache.json.corrupt"
+        assert quarantined.read_text() == "{not json"
+        # the quarantined file never blocks a fresh persist + reload
+        cache.put("k", "v")
+        cache.persist()
+        assert RenderCache(disk_path=str(path)).get("k") == "v"
+
+    def test_wrong_shape_file_quarantined(self, tmp_path):
+        path = tmp_path / "render_cache.json"
+        path.write_text(json.dumps(["not", "a", "cache"]))
+        cache = RenderCache(disk_path=str(path))
+        assert len(cache) == 0
+        assert cache.corrupt_entries == 1
+        assert (tmp_path / "render_cache.json.corrupt").exists()
+
+    def test_per_entry_damage_skips_entry_and_counts(self, tmp_path):
+        """Damage confined to individual entries (non-string values) drops
+        just those entries — the healthy ones still load — and each one
+        is counted, without quarantining the whole file."""
+        path = tmp_path / "render_cache.json"
+        path.write_text(json.dumps(
+            {"format": 1, "entries": {"good": "efp", "bad": 7, "worse": None}}))
+        cache = RenderCache(disk_path=str(path))
+        assert cache.get("good") == "efp"
+        assert len(cache) == 1
+        assert cache.stats()["corrupt_entries"] == 2
+        assert path.exists()  # file itself is kept: most of it was fine
+
+    def test_reset_stats_clears_corrupt_counter(self, tmp_path):
+        path = tmp_path / "render_cache.json"
+        path.write_text("garbage")
+        cache = RenderCache(disk_path=str(path))
+        assert cache.corrupt_entries == 1
+        cache.reset_stats()
+        assert cache.stats()["corrupt_entries"] == 0
+
     def test_persist_is_atomic_json(self, tmp_path):
         path = tmp_path / "c.json"
         cache = RenderCache(disk_path=str(path))
