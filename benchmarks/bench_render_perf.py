@@ -22,9 +22,19 @@ A worker-scaling sweep re-times the batched cold render at workers =
 (``_POOL_THRESHOLD``, ``_POOL_GROUP_THRESHOLD``) and the group-count
 chunksize heuristic are pinned to measurements, not folklore.
 
+All of the above run with ``REPRO_RENDER_PATH=quantum`` so they stay the
+128-frame-loop reference. A fourth timed configuration then re-runs the
+batched cold render on the fused whole-buffer path:
+
+  fused     cache disabled, ``batched=True``, ``REPRO_RENDER_PATH=fused``
+            — same workload, whole-buffer segment kernels instead of the
+            quantum loop. Its dataset must equal the baseline's byte for
+            byte (the fused path is pure cost control, never an identity).
+
 Acceptance floor (asserted, so later PRs have a trajectory to beat):
 >= 95% hit rate, cached speedup >= 10x, batched cold throughput >= 3x
-the per-class baseline at equal workers, datasets bit-identical tri-way.
+the per-class baseline at equal workers, fused throughput >= 3x batched,
+datasets bit-identical across every configuration.
 
 Usage: PYTHONPATH=src python benchmarks/bench_render_perf.py [--users N]
 """
@@ -124,6 +134,10 @@ def main() -> int:
     common = dict(user_count=args.users, iterations=args.iterations,
                   vectors=VECTORS, seed=args.seed, workers=args.workers)
 
+    # pin the reference runs to the quantum loop (the env var also reaches
+    # pool workers); the fused section flips this to "fused" at the end
+    os.environ["REPRO_RENDER_PATH"] = "quantum"
+
     print(f"workload: {args.users} users x {args.iterations} iterations "
           f"x {len(VECTORS)} vectors = {grid_items} grid items")
 
@@ -182,6 +196,20 @@ def main() -> int:
                 print("FATAL: sweep dataset differs from baseline dataset")
                 return 1
 
+    os.environ["REPRO_RENDER_PATH"] = "fused"
+    t0 = time.perf_counter()
+    fused_dataset = run_study(cache=RenderCache(disabled=True), **common)
+    fused_wall = time.perf_counter() - t0
+    os.environ["REPRO_RENDER_PATH"] = "quantum"
+    fused_identical = fused_dataset == baseline_dataset
+    fused_speedup = batched_wall / fused_wall
+    print(f"fused run:    {fused_wall:8.2f}s  ({grid_items} renders, "
+          f"whole-buffer kernels, {fused_speedup:.2f}x batched)"
+          + ("" if fused_identical else "  DATASET MISMATCH"))
+    if not fused_identical:
+        print("FATAL: fused dataset differs from baseline dataset")
+        return 1
+
     batching_speedup = baseline_wall / batched_wall
     cache_speedup = baseline_wall / cached_wall
     result = {
@@ -213,6 +241,13 @@ def main() -> int:
             "renders_performed": grid_items,
             "renders_per_s": round(grid_items / baseline_wall, 2),
         },
+        "fused": {
+            "wall_s": round(fused_wall, 4),
+            "renders_performed": grid_items,
+            "renders_per_s": round(grid_items / fused_wall, 2),
+            "speedup_vs_batched": round(fused_speedup, 2),
+            "bit_identical": fused_identical,
+        },
         "speedup": round(cache_speedup, 2),
         "batching_speedup": round(batching_speedup, 2),
         "datasets_bit_identical": bit_identical,
@@ -242,11 +277,13 @@ def main() -> int:
         failures.append(f"cache speedup {cache_speedup:.1f}x < 10x")
     if batching_speedup < 3.0:
         failures.append(f"batching speedup {batching_speedup:.1f}x < 3x")
+    if fused_speedup < 3.0:
+        failures.append(f"fused speedup {fused_speedup:.1f}x < 3x batched")
     if failures:
         print("ACCEPTANCE FAILED: " + "; ".join(failures))
         return 1
     print("acceptance: hit rate >= 0.95, cache speedup >= 10x, "
-          "batching speedup >= 3x  [ok]")
+          "batching speedup >= 3x, fused speedup >= 3x batched  [ok]")
     return 0
 
 

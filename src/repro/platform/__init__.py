@@ -7,7 +7,8 @@ equivalence-class render cache exploits (see DESIGN.md).
 """
 
 from .mathlib import MathBackend, MATH_BACKENDS, get_math_backend  # noqa: F401
-from .stacks import AudioStack, COMPRESSOR_VARIANTS, default_stack_pool  # noqa: F401
+from .stacks import (AudioStack, COMPRESSOR_VARIANTS, RENDER_TIERS,  # noqa: F401
+                     default_stack_pool)
 from .jitter import (  # noqa: F401
     REFERENCE_PATH,
     JitterPath,
@@ -22,6 +23,7 @@ __all__ = [
     "get_math_backend",
     "AudioStack",
     "COMPRESSOR_VARIANTS",
+    "RENDER_TIERS",
     "default_stack_pool",
     "REFERENCE_PATH",
     "JitterPath",

@@ -14,9 +14,24 @@ from __future__ import annotations
 
 import json
 import os
+import re
 from collections import OrderedDict
 
 from ..io import atomic_write_json
+from ..webaudio import ENGINE_VERSION
+
+#: the version component of a full cache key: ``vector|e<N>|engine|...``
+_VERSION_PART = re.compile(r"^e\d+$")
+
+
+def _stale_version(key: str) -> bool:
+    """True when ``key`` carries an ENGINE_VERSION other than the current
+    one. Only full ``vector|e<N>|...`` keys are judged — ad-hoc keys
+    (tests, external users) have no version component and are never
+    considered stale."""
+    parts = key.split("|")
+    return (len(parts) >= 2 and _VERSION_PART.match(parts[1]) is not None
+            and parts[1] != f"e{ENGINE_VERSION}")
 
 
 class RenderCache:
@@ -32,6 +47,7 @@ class RenderCache:
         self.evictions = 0
         self.disk_loads = 0
         self.corrupt_entries = 0
+        self.stale_prunes = 0
         self._store: OrderedDict[str, str] = OrderedDict()
         if disk_path and not disabled:
             self._load_disk()
@@ -58,6 +74,9 @@ class RenderCache:
 
     def record_corrupt_entry(self, n: int = 1) -> None:
         self.corrupt_entries += n
+
+    def record_stale_prune(self, n: int = 1) -> None:
+        self.stale_prunes += n
 
     # -- core ---------------------------------------------------------------
     def get(self, key: str) -> str | None:
@@ -108,6 +127,7 @@ class RenderCache:
             "evictions": self.evictions,
             "disk_loads": self.disk_loads,
             "corrupt_entries": self.corrupt_entries,
+            "stale_prunes": self.stale_prunes,
         }
 
     def reset_stats(self) -> None:
@@ -116,6 +136,7 @@ class RenderCache:
         self.evictions = 0
         self.disk_loads = 0
         self.corrupt_entries = 0
+        self.stale_prunes = 0
 
     # -- disk persistence ---------------------------------------------------
     def _quarantine_disk(self) -> None:
@@ -147,11 +168,17 @@ class RenderCache:
             self._quarantine_disk()
             return
         for key, value in payload["entries"].items():
-            if isinstance(key, str) and isinstance(value, str):
+            if not (isinstance(key, str) and isinstance(value, str)):
+                self.record_corrupt_entry()
+            elif _stale_version(key):
+                # a bumped ENGINE_VERSION orphans the entry forever (no
+                # future key can match it); dropping it here — and not
+                # re-writing it on the next persist — keeps the cache file
+                # from accumulating dead generations
+                self.record_stale_prune()
+            else:
                 self._store[key] = value
                 self.record_disk_load()
-            else:
-                self.record_corrupt_entry()
 
     def persist(self) -> None:
         """Crash-safely write the cache to disk (no-op without a disk path).

@@ -347,6 +347,10 @@ def run_study(user_count: int, iterations: int = 30,
     """Run the synthetic study and return its dataset.
 
     ``workers``: None = auto (cpu count, capped at 8), 0 = render inline.
+    Explicit counts above the machine's core count are clamped to it
+    (never below 2, so an explicit pool request stays a pool); the clamp
+    and any fan-out skip are recorded as ``pool.workers_clamped`` /
+    ``pool.fanout_skipped`` counters.
     ``recorder``: a ``repro.obs.Recorder`` to instrument the run; None =
     observability off (null object, no per-render overhead) unless
     ``report_path`` is set, which implies a fresh recorder.
@@ -390,8 +394,19 @@ def run_study(user_count: int, iterations: int = 30,
     measuring = recorder.enabled
     if cache is None:
         cache = RenderCache()
+    cpu = os.cpu_count() or 1
+    requested_workers = workers
     if workers is None:
-        workers = min(os.cpu_count() or 1, 8)
+        workers = min(cpu, 8)
+    elif workers > max(cpu, 2):
+        # Oversubscribing a small machine cannot win: more processes than
+        # cores adds context-switch and serialization overhead (the
+        # committed worker sweep measures exactly this). Explicit requests
+        # are trimmed to the core count — but never below 2, so an
+        # explicit >= 2 request keeps pool semantics (supervision, crash
+        # isolation) even on a 1-core box. Results are worker-count
+        # invariant (pinned), so only wall time changes.
+        workers = max(cpu, 2)
 
     with recorder.span("plan", users=user_count, iterations=iterations,
                        vectors=list(vectors)) as plan_span:
@@ -448,6 +463,13 @@ def run_study(user_count: int, iterations: int = 30,
             splitter, validator, keys_of = (None, _validate_class_result,
                                             _class_job_keys)
         pooled = bool(workers and workers > 1 and len(jobs) >= threshold)
+        if requested_workers is not None and workers < requested_workers:
+            recorder.count("pool.workers_clamped",
+                           requested_workers - workers)
+        if not pooled and len(jobs) >= threshold and workers <= 1 \
+                and (requested_workers is None or requested_workers > 1):
+            # enough jobs to pool, but fan-out cannot win on this machine
+            recorder.count("pool.fanout_skipped")
         budget = None if retry_budget is None else RetryBudget(retry_budget)
         supervisor = SupervisedExecutor(
             worker, workers=workers if pooled else 0,
@@ -505,6 +527,9 @@ def run_study(user_count: int, iterations: int = 30,
         lanes = workers if pooled else 1
         pool_info = {
             "workers": workers, "pooled": pooled, "jobs": len(jobs),
+            "requested": (requested_workers if requested_workers is not None
+                          else workers),
+            "cpu_count": cpu,
             "batched": batched,
             "supervised": True,
             "rebuilds": resilience_info["degraded"]["pool_rebuilds"],

@@ -15,7 +15,10 @@ RENDER_LENGTH = 5000
 def digest(payload) -> str:
     """eFP digest: md5 over the exact bytes of the rendered features."""
     if isinstance(payload, np.ndarray):
-        data = np.ascontiguousarray(payload, dtype=np.float64).tobytes()
+        if payload.dtype == np.float64 and payload.flags.c_contiguous:
+            data = payload.tobytes()  # same bytes, no copy/dispatch
+        else:
+            data = np.ascontiguousarray(payload, dtype=np.float64).tobytes()
     elif isinstance(payload, str):
         data = payload.encode("utf-8")
     else:

@@ -11,7 +11,9 @@ render cache at once (see DESIGN.md, "Performance architecture").
 ENGINE_VERSION = "1"
 RENDER_QUANTUM_FRAMES = 128
 
-from .config import EngineConfig, CompressorParams, NumpyMath  # noqa: E402
+from .config import (EngineConfig, CompressorParams, NumpyMath,  # noqa: E402
+                     RENDER_BACKENDS, RENDER_PATHS,
+                     get_default_render_path, set_default_render_path)
 from .buffer import AudioBuffer  # noqa: E402
 from .context import OfflineAudioContext  # noqa: E402
 from .oscillator import OscillatorNode  # noqa: E402
@@ -19,7 +21,9 @@ from .gain import GainNode  # noqa: E402
 from .merger import ChannelMergerNode  # noqa: E402
 from .compressor import DynamicsCompressorNode  # noqa: E402
 from .analyser import AnalyserNode  # noqa: E402
+from .segments import FusedPlan, Segment, plan_segments  # noqa: E402
 from . import fft  # noqa: E402
+from . import jit  # noqa: E402
 
 __all__ = [
     "ENGINE_VERSION",
@@ -27,6 +31,14 @@ __all__ = [
     "EngineConfig",
     "CompressorParams",
     "NumpyMath",
+    "RENDER_BACKENDS",
+    "RENDER_PATHS",
+    "get_default_render_path",
+    "set_default_render_path",
+    "FusedPlan",
+    "Segment",
+    "plan_segments",
+    "jit",
     "AudioBuffer",
     "OfflineAudioContext",
     "OscillatorNode",

@@ -30,12 +30,37 @@ def _is_pow2(n: int) -> bool:
     return n > 0 and (n & (n - 1)) == 0
 
 
+# Per-size constant tables (twiddle factors, bit-reversal permutations,
+# Bluestein chirps) are deterministic pure functions of the size, so caching
+# them returns the exact arrays the uncached code would rebuild — zero
+# effect on output bytes, large effect on per-call Python/alloc overhead.
+# Cached arrays are marked read-only; kernels only ever multiply by them.
+_TWIDDLE_CACHE: dict[tuple[int, object], np.ndarray] = {}
+_BITREV_CACHE: dict[int, np.ndarray] = {}
+
+
+def _twiddles(size: int, dtype=np.complex128) -> np.ndarray:
+    """``exp(-2j*pi*arange(size//2)/size)`` in ``dtype``, cached per size."""
+    key = (size, np.dtype(dtype).str)
+    tw = _TWIDDLE_CACHE.get(key)
+    if tw is None:
+        tw = np.exp(-2j * np.pi * np.arange(size // 2) / size).astype(dtype)
+        tw.setflags(write=False)
+        _TWIDDLE_CACHE[key] = tw
+    return tw
+
+
 def _bit_reverse_indices(n: int) -> np.ndarray:
+    rev = _BITREV_CACHE.get(n)
+    if rev is not None:
+        return rev
     levels = n.bit_length() - 1
     idx = np.arange(n, dtype=np.int64)
     rev = np.zeros(n, dtype=np.int64)
     for bit in range(levels):
         rev |= ((idx >> bit) & 1) << (levels - 1 - bit)
+    rev.setflags(write=False)
+    _BITREV_CACHE[n] = rev
     return rev
 
 
@@ -43,18 +68,31 @@ def _fft_iterative_radix2(x: np.ndarray, twiddle_dtype=np.complex128) -> np.ndar
     """Iterative Cooley-Tukey decimation-in-time; vectorized per stage.
 
     Transforms the last axis; leading axes are independent batch rows.
+    Stages ping-pong between two preallocated buffers with out-parameter
+    ufuncs — the same multiplies/adds/subtracts on the same values in the
+    same order as the textbook concatenate form, minus the per-stage
+    temporary allocations (which dominated wall time for analyser-sized
+    batches).
     """
     n = x.shape[-1]
     lead = x.shape[:-1]
     a = np.asarray(x, dtype=np.complex128)[..., _bit_reverse_indices(n)]
+    if n == 1:
+        return a
+    out = np.empty_like(a)
+    scratch = np.empty_like(a)
     size = 2
     while size <= n:
         half = size // 2
-        tw = np.exp(-2j * np.pi * np.arange(half) / size).astype(twiddle_dtype)
-        a = a.reshape(*lead, n // size, size)
-        even = a[..., :half]
-        odd = a[..., half:] * tw
-        a = np.concatenate([even + odd, even - odd], axis=-1).reshape(*lead, n)
+        tw = _twiddles(size, twiddle_dtype)
+        av = a.reshape(*lead, n // size, size)
+        ov = out.reshape(*lead, n // size, size)
+        even = av[..., :half]
+        odd = np.multiply(av[..., half:], tw,
+                          out=scratch.reshape(*lead, n // size, size)[..., :half])
+        np.add(even, odd, out=ov[..., :half])
+        np.subtract(even, odd, out=ov[..., half:])
+        a, out = out, a
         size *= 2
     return a
 
@@ -69,9 +107,15 @@ def _fft_recursive(x: np.ndarray) -> np.ndarray:
     n = x.shape[-1]
     if n == 1:
         return x.astype(np.complex128)
+    if n == 2:
+        # unrolled base case: the exact ops of the two n == 1 leaves plus
+        # the n == 2 combine, minus two Python frames per leaf pair
+        even = x[..., 0::2].astype(np.complex128)
+        t = _twiddles(2) * x[..., 1::2].astype(np.complex128)
+        return np.concatenate([even + t, even - t], axis=-1)
     even = _fft_recursive(x[..., ::2])
     odd = _fft_recursive(x[..., 1::2])
-    t = np.exp(-2j * np.pi * np.arange(n // 2) / n) * odd
+    t = _twiddles(n) * odd
     return np.concatenate([even + t, even - t], axis=-1)
 
 
@@ -101,20 +145,39 @@ class FFTBackend:
     def _ifft_pow2(self, x: np.ndarray) -> np.ndarray:
         return np.conj(self._fft_pow2(np.conj(x))) / x.shape[-1]
 
+    def _chirp_tables(self, n: int) -> tuple[np.ndarray, int, np.ndarray]:
+        """Per-size Bluestein constants ``(w, m, fft(b))``, cached.
+
+        The chirp ``w`` and the zero-padded mirrored chirp ``b`` depend
+        only on ``n``, and ``fft(b)`` only on ``n`` and this backend's
+        power-of-two core — all deterministic, so the cache returns the
+        exact arrays every call used to rebuild (one full size-``m``
+        forward FFT saved per call)."""
+        cache = self.__dict__.setdefault("_chirp_cache", {})
+        entry = cache.get(n)
+        if entry is None:
+            k = np.arange(n, dtype=np.int64)
+            # k*k mod 2n keeps the chirp argument small and exact in float64
+            w = np.exp(-1j * np.pi * ((k * k) % (2 * n)) / n)
+            m = 1 << (2 * n - 1).bit_length()
+            b = np.zeros(m, dtype=np.complex128)
+            chirp_conj = np.conj(w)
+            b[:n] = chirp_conj
+            b[m - n + 1:] = chirp_conj[1:][::-1]
+            fb = self._fft_pow2(b)
+            w.setflags(write=False)
+            fb.setflags(write=False)
+            entry = (w, m, fb)
+            cache[n] = entry
+        return entry
+
     def _bluestein(self, x: np.ndarray) -> np.ndarray:
         """Chirp-z transform: any-size DFT via one power-of-two convolution."""
         n = x.shape[-1]
-        k = np.arange(n, dtype=np.int64)
-        # k*k mod 2n keeps the chirp argument small and exact in float64
-        w = np.exp(-1j * np.pi * ((k * k) % (2 * n)) / n)
-        m = 1 << (2 * n - 1).bit_length()
+        w, m, fb = self._chirp_tables(n)
         a = np.zeros((*x.shape[:-1], m), dtype=np.complex128)
         a[..., :n] = np.asarray(x, dtype=np.complex128) * w
-        b = np.zeros(m, dtype=np.complex128)
-        chirp_conj = np.conj(w)
-        b[:n] = chirp_conj
-        b[m - n + 1:] = chirp_conj[1:][::-1]
-        conv = self._ifft_pow2(self._fft_pow2(a) * self._fft_pow2(b))
+        conv = self._ifft_pow2(self._fft_pow2(a) * fb)
         return conv[..., :n] * w
 
 

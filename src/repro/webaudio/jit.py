@@ -1,0 +1,117 @@
+"""Opt-in JIT execution tier: numba-compiled sequential kernels.
+
+This is the engine's third "platform stack" numeric identity (after the
+math backend and FFT backend): a native/JIT build evaluates the same DSP
+with scalar sequential recurrences instead of NumPy's vectorized
+closed-form/pairwise evaluation, so its rounding differs at the ulp
+level — exactly the kind of real-world divergence (SIMD vs scalar code
+paths, compiler contraction) the paper attributes fingerprint diversity
+to. It is therefore keyed as a *distinct* ``AudioStack.render_tier``
+rather than allowed to mutate existing fingerprints: selecting it never
+invalidates a cached NumPy-tier render and never collides with one.
+
+Gating: numba is an optional dependency. ``numba_available()`` probes
+for it once; when absent, the nodes silently run their (bit-identical)
+fused NumPy kernels instead — the tier identity stays distinct in the
+cache key either way, so a population mixing machines with and without
+numba stays deterministic per machine. Kernels compile lazily on first
+use and are cached for the process lifetime.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from . import RENDER_QUANTUM_FRAMES
+
+_numba_probe: bool | None = None
+_kernels: dict | None = None
+
+
+def numba_available() -> bool:
+    """True when the numba import succeeds (probed once per process)."""
+    global _numba_probe
+    if _numba_probe is None:
+        try:
+            import numba  # noqa: F401
+            _numba_probe = True
+        except ImportError:
+            _numba_probe = False
+    return _numba_probe
+
+
+def _compile_kernels() -> dict:
+    """Lazily numba-compile the sequential kernels (import-safe)."""
+    global _kernels
+    if _kernels is not None:
+        return _kernels
+    import numba
+
+    @numba.njit(cache=False)
+    def envelope_scan(level, attack_coef, release_coef, env0):
+        """Sequential one-pole envelope: y[n] = a*y[n-1] + (1-a)*x[n].
+
+        ``level`` is (B, L); the attack/release coefficient is chosen per
+        128-frame block from the block peak (same decision rule as the
+        NumPy tier), but the recurrence itself runs per sample — the
+        honest scalar evaluation a native compressor performs.
+        """
+        batch, length = level.shape
+        out = np.empty_like(level)
+        quantum = RENDER_QUANTUM_FRAMES
+        for b in range(batch):
+            env = env0[b]
+            f0 = 0
+            while f0 < length:
+                n = min(quantum, length - f0)
+                peak = level[b, f0]
+                for i in range(1, n):
+                    if level[b, f0 + i] > peak:
+                        peak = level[b, f0 + i]
+                a = attack_coef if peak > env else release_coef
+                one_minus = 1.0 - a
+                for i in range(n):
+                    env = a * env + one_minus * level[b, f0 + i]
+                    out[b, f0 + i] = env
+                f0 += n
+        return out
+
+    @numba.njit(cache=False)
+    def synth_harmonics(phases, orders, amps, ulp_scale):
+        """Sequential additive synthesis: sum_h amps[h]*sin(orders[h]*p).
+
+        Accumulates harmonics in order per frame (no pairwise tree) and
+        applies the math backend's ulp perturbation as a final scale —
+        the scalar-libm evaluation order a native build would use.
+        """
+        length = phases.shape[0]
+        n_harm = orders.shape[0]
+        out = np.empty(length, dtype=np.float64)
+        for i in range(length):
+            acc = 0.0
+            for h in range(n_harm):
+                acc += amps[h] * np.sin(orders[h] * phases[i])
+            out[i] = acc * ulp_scale
+        return out
+
+    _kernels = {"envelope_scan": envelope_scan,
+                "synth_harmonics": synth_harmonics}
+    return _kernels
+
+
+def jit_active(config) -> bool:
+    """True when this config selects the JIT tier *and* numba is present."""
+    return config.render_backend == "jit" and numba_available()
+
+
+def envelope_scan(level: np.ndarray, attack_coef: float, release_coef: float,
+                  env0: np.ndarray) -> np.ndarray:
+    return _compile_kernels()["envelope_scan"](
+        np.ascontiguousarray(level), attack_coef, release_coef,
+        np.ascontiguousarray(env0))
+
+
+def synth_harmonics(phases: np.ndarray, orders: np.ndarray, amps: np.ndarray,
+                    ulp_scale: float) -> np.ndarray:
+    return _compile_kernels()["synth_harmonics"](
+        np.ascontiguousarray(phases), np.ascontiguousarray(orders),
+        np.ascontiguousarray(amps), ulp_scale)

@@ -8,6 +8,8 @@ from .node import mix_to_channels
 
 
 class ChannelMergerNode(AudioNode):
+    fusible = True
+
     def __init__(self, context, number_of_inputs: int = 6):
         if not 1 <= number_of_inputs <= 32:
             raise ValueError("number_of_inputs must be in [1, 32]")
@@ -20,3 +22,8 @@ class ChannelMergerNode(AudioNode):
         for port, block in enumerate(inputs):
             out[:, port] = mix_to_channels(block, 1)[:, 0]
         return out
+
+    def process_buffer(self, inputs, length):
+        # channel routing is stateless and elementwise in the frame axis:
+        # the whole-buffer pass is the block pass with n == length
+        return self.process_block(inputs, 0, length)

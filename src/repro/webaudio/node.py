@@ -16,6 +16,9 @@ import numpy as np
 class AudioNode:
     number_of_inputs = 1
     number_of_outputs = 1
+    #: nodes the fused whole-buffer path knows how to render; a node type
+    #: without a ``process_buffer`` kernel forces the quantum-loop fallback
+    fusible = False
 
     def __init__(self, context):
         self.context = context
@@ -50,6 +53,44 @@ class AudioNode:
         on whole blocks (no per-sample loops).
         """
         raise NotImplementedError
+
+    def process_buffer(self, inputs: list[np.ndarray], length: int) -> np.ndarray:
+        """Fused path: produce this node's output for the *entire* buffer.
+
+        Same contract as ``process_block`` with ``frame0 == 0`` and
+        ``n == length``, but implementations must reproduce the quantum
+        loop's floating-point results bit for bit — nodes with
+        block-granular state (oscillator phase wrap, compressor envelope)
+        keep that state's block structure internally while hoisting every
+        elementwise stage to one whole-buffer pass. Only defined for
+        ``fusible`` node types on automation-free graphs (the
+        segmentation pass checks both before dispatching here).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no whole-buffer kernel")
+
+
+def batch_uniform(block: np.ndarray) -> bool:
+    """True when every batch row of a (B, c, n) block is the same memory
+    (a zero-stride broadcast view). Inside a render the batch rows only
+    diverge at the analyser *readout*, so fused kernels use this to
+    compute one row and broadcast — bit-identical to the full batch
+    because no render op ever mixes rows (elementwise / last-axis only,
+    the invariant the batched engine is built on)."""
+    return block.ndim == 3 and block.shape[0] > 1 and block.strides[0] == 0
+
+
+def mix_sources_uniform(blocks: list[np.ndarray], batch: int, n: int) -> np.ndarray:
+    """``mix_sources`` that keeps row-uniform inputs row-uniform: when every
+    source block is a batch broadcast, mix the single distinct row and
+    broadcast the sum instead of materializing (B, c, n)."""
+    if blocks and all(batch_uniform(b) for b in blocks):
+        first = mix_sources([b[:1] for b in blocks], 1, n)
+        return np.broadcast_to(first, (batch,) + first.shape[1:])
+    if not blocks:
+        return np.broadcast_to(np.zeros((1, 1, n), dtype=np.float64),
+                               (batch, 1, n))
+    return mix_sources(blocks, batch, n)
 
 
 def mix_sources(blocks: list[np.ndarray], batch: int, n: int) -> np.ndarray:

@@ -14,14 +14,17 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import RENDER_QUANTUM_FRAMES, jit
 from .node import AudioNode
 from .param import AudioParam
 
 _MAX_HARMONICS = 128
+_ULP = 2.0 ** -52
 
 
 class OscillatorNode(AudioNode):
     number_of_inputs = 0
+    fusible = True
 
     def __init__(self, context):
         super().__init__(context)
@@ -87,3 +90,61 @@ class OscillatorNode(AudioNode):
         # oscillator params are graph state shared by every batch row, so the
         # signal is row-uniform: compute it once, hand out a read-only view
         return np.broadcast_to(np.where(active, signal, 0.0), (batch, 1, n))
+
+    def process_buffer(self, inputs, length):
+        """Fused path: synthesize the entire buffer in one pass.
+
+        Automation-free params are block-position independent, so one
+        128-frame increment template reproduces every quantum block (the
+        final, possibly partial block is a prefix of it — cumsum is
+        prefix-stable). Per-block phase starts still walk the quantum
+        loop's exact update, ``(phase + sum(inc)) % 2pi`` per block, so
+        every phase value — and therefore every sin evaluation — is the
+        same float the quantum loop produces.
+        """
+        batch = self.context.batch_size
+        if self._start_frame is None:
+            return np.zeros((batch, 1, length), dtype=np.float64)
+        fs = self.context.sample_rate
+        config = self.context.config
+        math = config.math
+        quantum = RENDER_QUANTUM_FRAMES
+
+        freq = self.frequency.values(0, quantum, fs)
+        detune = self.detune.values(0, quantum, fs)
+        if np.any(detune):
+            freq = freq * math.pow(2.0, detune / 1200.0)
+        inc = 2.0 * np.pi * freq / fs
+        block_cumsum = np.cumsum(inc)
+
+        nblocks = -(-length // quantum)
+        last_n = length - (nblocks - 1) * quantum
+        full_sum = float(np.sum(inc))
+        starts = np.empty(nblocks, dtype=np.float64)
+        phase = self._phase
+        for b in range(nblocks):
+            starts[b] = phase
+            s = full_sum if (b < nblocks - 1 or last_n == quantum) \
+                else float(np.sum(inc[:last_n]))
+            phase = (phase + s) % (2.0 * np.pi)
+        self._phase = phase
+        # (start + cumsum) - inc: the quantum loop's exact phase expression,
+        # evaluated for all blocks at once and trimmed to the buffer
+        phases = ((starts[:, None] + block_cumsum[None, :]) - inc[None, :])
+        phases = phases.reshape(-1)[:length]
+
+        orders, amps = self._harmonics(fs / 2.0, float(freq[0]))
+        if jit.jit_active(config):
+            ulp_scale = 1.0 + getattr(math, "ulp_shift", 0) * _ULP
+            signal = jit.synth_harmonics(phases, orders, amps, ulp_scale)
+        else:
+            # one whole-buffer sin through the math backend; the harmonic
+            # reduction tree per frame is identical at any frame count
+            waves = math.sin(orders[:, None] * phases[None, :])
+            signal = (amps[:, None] * waves).sum(axis=0)
+
+        frames = np.arange(length)
+        active = frames >= self._start_frame
+        if self._stop_frame is not None:
+            active &= frames < self._stop_frame
+        return np.broadcast_to(np.where(active, signal, 0.0), (batch, 1, length))
