@@ -11,8 +11,17 @@ Three layers, all stdlib-only so every other package may import this one
   profiler   opt-in per-node timing for the webaudio engine, activated via
              a contextvar so the engine's hot loop stays untouched when
              profiling is off.
+  events     the crash-safe append-only JSONL event log: the *sequence* of
+             retries, rebuilds, checkpoint writes, and cache quarantines
+             that aggregates throw away (see ``repro.obs.events``).
+  progress   the opt-in stderr heartbeat for long runs (``ProgressMeter``).
   report     the machine-readable run report: build/validate/render, plus
              the ``python -m repro.obs.report`` CLI.
+  trace      Chrome trace-event export of the span tree + event log
+             (``python -m repro.obs.trace``), loadable in Perfetto.
+  regress    the bench-regression sentinel comparing fresh benchmark runs
+             against the committed BENCH_*.json baselines
+             (``python -m repro.obs.regress``).
 
 Metrics cross the ProcessPoolExecutor boundary as plain dicts: each pool
 worker returns a serializable per-render metrics snapshot next to its eFP
@@ -21,8 +30,12 @@ and the parent merges them into its own ``Recorder`` (see
 count.
 """
 
+from .events import (EVENT_KINDS, EVENT_SCHEMA, EventLog,  # noqa: F401
+                     canonical_events, make_event, normalize_events,
+                     read_events)
 from .recorder import Histogram, NullRecorder, NULL_RECORDER, Recorder  # noqa: F401
 from .profiler import NodeProfiler, current_node_profiler, profile_nodes  # noqa: F401
+from .progress import ProgressMeter  # noqa: F401
 
 _REPORT_EXPORTS = ("build_report", "validate_report", "render_report")
 
@@ -46,4 +59,12 @@ __all__ = [
     "build_report",
     "validate_report",
     "render_report",
+    "EventLog",
+    "EVENT_KINDS",
+    "EVENT_SCHEMA",
+    "make_event",
+    "read_events",
+    "normalize_events",
+    "canonical_events",
+    "ProgressMeter",
 ]

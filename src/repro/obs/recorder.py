@@ -17,6 +17,8 @@ from __future__ import annotations
 import math
 import time
 
+from .events import make_event
+
 
 class Histogram:
     """Sparse exponential histogram: bucket ``i`` holds values in
@@ -60,17 +62,37 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def approx_quantile(self, q: float) -> float:
-        """Quantile estimate from bucket upper bounds (exact for min/max)."""
+        """Quantile estimate, exact for min/max (q<=0 / q>=1).
+
+        Interior quantiles interpolate to the *geometric midpoint* of the
+        winning bucket's bounds — ``sqrt(lower * upper)``, i.e. half an
+        octave below the upper bound — instead of pessimistically
+        reporting the bound itself, then clamp into ``[min, max]``. For
+        exponential buckets the midpoint halves the worst-case relative
+        error (from 2x to sqrt(2)x) without biasing one direction. The
+        boundary ranks stay exact too: rank 1 *is* the tracked min and
+        rank ``count`` *is* the tracked max, so e.g. q=0.99 over ten
+        observations returns the max itself, not a bucket estimate.
+        """
         if not self.count:
             return 0.0
         if q <= 0.0:
             return self.min or 0.0
+        if q >= 1.0:
+            return self.max or 0.0
         rank = math.ceil(q * self.count)
+        if rank <= 1:
+            return self.min or 0.0
+        if rank >= self.count:
+            return self.max or 0.0
         seen = 0
         for index in sorted(self.buckets):
             seen += self.buckets[index]
             if seen >= rank:
-                return min(self.bucket_upper_bound(index), self.max or 0.0)
+                midpoint = self.bucket_upper_bound(index) / math.sqrt(2.0)
+                low = self.min if self.min is not None else 0.0
+                high = self.max if self.max is not None else midpoint
+                return min(max(midpoint, low), high)
         return self.max or 0.0
 
     def merge(self, other: "Histogram | dict") -> None:
@@ -184,12 +206,44 @@ class Recorder:
         self.histograms: dict[str, Histogram] = {}
         #: node_profile[stack_key][node_label] = {"seconds": s, "calls": n}
         self.node_profile: dict[str, dict[str, dict]] = {}
+        #: the ordered event sequence (see repro.obs.events); each entry
+        #: also streams to the attached EventLog the moment it lands
+        self.events: list[dict] = []
+        self._event_log = None
         self._open_spans: list[int] = []
         self._next_span_id = 0
 
     # -- spans --------------------------------------------------------------
     def span(self, name: str, **attrs) -> _SpanHandle:
         return _SpanHandle(self, name, attrs)
+
+    # -- events --------------------------------------------------------------
+    def event(self, kind: str, **fields) -> None:
+        """Record one event (monotonic stamp rebased to this recorder's
+        epoch, so events and spans share a clock)."""
+        self._append_event(make_event(kind, epoch=self._epoch, **fields))
+
+    def merge_event(self, event: dict) -> None:
+        """Fold in an event made elsewhere (a pool worker's, shipped home
+        inside a metrics dict): it keeps its own pid and clock stamps but
+        takes the next local ``seq``."""
+        self._append_event(dict(event))
+
+    def _append_event(self, event: dict) -> None:
+        event["seq"] = len(self.events)
+        self.events.append(event)
+        if self._event_log is not None:
+            self._event_log.emit(event)
+
+    def attach_event_log(self, log) -> None:
+        """Stream every subsequent event to ``log`` (an
+        ``repro.obs.events.EventLog``) as well as the in-memory list."""
+        self._event_log = log
+
+    def detach_event_log(self):
+        log = self._event_log
+        self._event_log = None
+        return log
 
     # -- counters / histograms ----------------------------------------------
     def count(self, name: str, value: float = 1) -> None:
@@ -216,6 +270,7 @@ class Recorder:
         return {
             "enabled": True,
             "spans": [dict(s) for s in self.spans],
+            "events": [dict(e) for e in self.events],
             "counters": dict(self.counters),
             "histograms": {k: h.to_dict() for k, h in self.histograms.items()},
             "node_profile": {
@@ -241,6 +296,8 @@ class Recorder:
                 {label: entry["calls"] for label, entry in nodes.items()},
             )
         self.spans.extend(dict(s) for s in snap.get("spans", []))
+        for event in snap.get("events", []):
+            self.merge_event(event)
 
 
 class NullRecorder:
@@ -257,6 +314,18 @@ class NullRecorder:
     def span(self, name: str, **attrs) -> _NullSpan:
         return _NULL_SPAN
 
+    def event(self, kind: str, **fields) -> None:
+        pass
+
+    def merge_event(self, event: dict) -> None:
+        pass
+
+    def attach_event_log(self, log) -> None:
+        pass
+
+    def detach_event_log(self):
+        return None
+
     def count(self, name: str, value: float = 1) -> None:
         pass
 
@@ -268,7 +337,7 @@ class NullRecorder:
         pass
 
     def snapshot(self) -> dict:
-        return {"enabled": False, "spans": [], "counters": {},
+        return {"enabled": False, "spans": [], "events": [], "counters": {},
                 "histograms": {}, "node_profile": {}}
 
     def merge_snapshot(self, snap: dict) -> None:

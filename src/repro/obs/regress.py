@@ -1,0 +1,216 @@
+"""The bench-regression sentinel: fresh benchmark runs vs committed baselines.
+
+``python -m repro.obs.regress fresh1.json [fresh2.json ...]`` compares
+each fresh benchmark document against the committed ``BENCH_*.json``
+baseline it corresponds to (matched on the document's ``benchmark``
+field) and exits non-zero naming every metric outside its tolerance
+band. CI runs it after re-running the benchmarks at smoke scale, so a
+perf regression fails the build with the offending metric and baseline
+named instead of silently rotting until someone re-reads the numbers.
+
+Tolerance policy (documented in DESIGN.md): every watched metric has a
+*direction* and a *relative tolerance band*.
+
+  higher-is-better  fresh >= baseline * (1 - tol)   (throughputs, speedups)
+  lower-is-better   fresh <= baseline * (1 + tol)   (overhead ratios, latency)
+
+Improvements never fail — the band is one-sided. Bands are deliberately
+wide (benchmarks run at smoke scale on shared CI machines; the sentinel
+exists to catch step-function regressions like a dead fast path, not 5%
+noise), and ``--tolerance-scale`` widens them uniformly for noisier
+environments. Scale-dependent metrics (cache hit rates, absolute wall
+times at full scale) are not watched: only roughly scale-invariant
+throughputs and dimensionless ratios are. A watched metric missing from
+the baseline is skipped (older baseline, new metric); a watched metric
+missing from the *fresh* run while present in the baseline fails — a
+benchmark silently dropping a metric is exactly the rot this guards
+against.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+VERDICT_KIND = "repro.obs.regress"
+VERDICT_FORMAT = 1
+
+#: benchmark name (the document's ``benchmark`` field) -> committed baseline
+BASELINES = {
+    "bench_render_perf": "BENCH_render.json",
+    "bench_collation": "BENCH_collation.json",
+    "bench_obs_overhead": "BENCH_obs_overhead.json",
+    "resilience": "BENCH_resilience.json",
+}
+
+#: watched metrics: benchmark -> [(dotted path, direction, rel tolerance)]
+#: directions: "higher" = higher is better, "lower" = lower is better
+SPECS = {
+    "bench_render_perf": [
+        ("batched.renders_per_s", "higher", 0.40),
+        ("fused.renders_per_s", "higher", 0.40),
+        ("baseline.renders_per_s", "higher", 0.40),
+        ("batching_speedup", "higher", 0.40),
+        ("fused.speedup_vs_batched", "higher", 0.40),
+    ],
+    "bench_collation": [
+        ("collate_items_per_s", "higher", 0.60),
+    ],
+    "bench_obs_overhead": [
+        ("study_wall_s.enabled_ratio", "lower", 0.50),
+        ("study_wall_s.events_ratio", "lower", 0.50),
+        ("micro_us_per_op.null.span_us", "lower", 2.00),
+    ],
+    "resilience": [
+        ("runs.checkpoint.overhead_vs_clean", "lower", 0.50),
+        ("runs.chaos.overhead_vs_clean", "lower", 1.50),
+    ],
+}
+
+
+def _lookup(payload: dict, path: str):
+    """Resolve a dotted path; returns None when any hop is missing or the
+    leaf is not a plain number."""
+    node = payload
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return None
+    return float(node)
+
+
+def compare(fresh: dict, baseline: dict, specs: list[tuple[str, str, float]],
+            tolerance_scale: float = 1.0) -> list[dict]:
+    """Compare one fresh benchmark document against its baseline.
+
+    Returns one result dict per watched metric: ``status`` is ``"ok"``,
+    ``"regression"``, ``"missing"`` (present in baseline, absent from
+    fresh — a failure), or ``"skipped"`` (absent from baseline).
+    """
+    results = []
+    for path, direction, tolerance in specs:
+        tolerance = tolerance * tolerance_scale
+        base = _lookup(baseline, path)
+        have = _lookup(fresh, path)
+        entry = {"metric": path, "direction": direction,
+                 "tolerance": round(tolerance, 6),
+                 "baseline": base, "fresh": have}
+        if base is None:
+            entry["status"] = "skipped"
+        elif have is None:
+            entry["status"] = "missing"
+        else:
+            if direction == "higher":
+                bound = base * (1.0 - tolerance)
+                ok = have >= bound
+            else:
+                bound = base * (1.0 + tolerance)
+                ok = have <= bound
+            entry["bound"] = round(bound, 6)
+            entry["status"] = "ok" if ok else "regression"
+        results.append(entry)
+    return results
+
+
+def build_verdict(runs: list[dict]) -> dict:
+    """Wrap per-benchmark comparison runs into the machine-readable
+    verdict document CI uploads as an artifact."""
+    failures = [
+        {"benchmark": run["benchmark"],
+         "baseline_path": run["baseline_path"], **result}
+        for run in runs for result in run["results"]
+        if result["status"] in ("regression", "missing")
+    ]
+    return {
+        "kind": VERDICT_KIND,
+        "format": VERDICT_FORMAT,
+        "ok": not failures,
+        "checked": sum(len(r["results"]) for r in runs),
+        "failures": failures,
+        "runs": runs,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.regress",
+        description="Compare fresh benchmark JSON documents against the "
+                    "committed BENCH_*.json baselines; exit non-zero on "
+                    "any out-of-band metric.")
+    parser.add_argument("fresh", nargs="+",
+                        help="fresh benchmark JSON documents to judge")
+    parser.add_argument("--baseline-dir", default="benchmarks",
+                        help="directory holding the committed BENCH_*.json "
+                             "baselines (default: benchmarks)")
+    parser.add_argument("--tolerance-scale", type=float, default=1.0,
+                        help="multiply every tolerance band by this factor "
+                             "(>1 for noisy CI machines; default 1.0)")
+    parser.add_argument("--out", help="also write the machine-readable "
+                                      "verdict JSON here")
+    args = parser.parse_args(argv)
+    if args.tolerance_scale <= 0:
+        print("error: --tolerance-scale must be positive", file=sys.stderr)
+        return 2
+
+    runs = []
+    for path in args.fresh:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                fresh = json.load(fh)
+        except FileNotFoundError:
+            print(f"error: no fresh benchmark at {path}", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as exc:
+            print(f"error: {path} is not valid JSON: {exc}", file=sys.stderr)
+            return 2
+        name = fresh.get("benchmark") if isinstance(fresh, dict) else None
+        if name not in BASELINES:
+            print(f"error: {path} names unknown benchmark {name!r} "
+                  f"(known: {sorted(BASELINES)})", file=sys.stderr)
+            return 2
+        baseline_path = os.path.join(args.baseline_dir, BASELINES[name])
+        try:
+            with open(baseline_path, "r", encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        except FileNotFoundError:
+            print(f"error: no committed baseline at {baseline_path}",
+                  file=sys.stderr)
+            return 2
+        results = compare(fresh, baseline, SPECS[name],
+                          tolerance_scale=args.tolerance_scale)
+        runs.append({"benchmark": name, "fresh_path": path,
+                     "baseline_path": baseline_path, "results": results})
+
+    verdict = build_verdict(runs)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(verdict, fh, indent=2)
+            fh.write("\n")
+
+    for run in runs:
+        for result in run["results"]:
+            status = result["status"]
+            detail = (f"fresh={result['fresh']} baseline={result['baseline']}"
+                      + (f" bound={result['bound']}" if "bound" in result
+                         else ""))
+            line = (f"[{status:>10}] {run['benchmark']}:{result['metric']} "
+                    f"({result['direction']} is better, "
+                    f"tol {result['tolerance']:.0%}) {detail}")
+            print(line, file=sys.stderr if status in ("regression", "missing")
+                  else sys.stdout)
+    if not verdict["ok"]:
+        names = ", ".join(f"{f['benchmark']}:{f['metric']} "
+                          f"(baseline {f['baseline_path']})"
+                          for f in verdict["failures"])
+        print(f"error: regression sentinel failed: {names}", file=sys.stderr)
+        return 1
+    print(f"regression sentinel: {verdict['checked']} metrics within "
+          f"tolerance")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover — exercised via CLI tests
+    sys.exit(main())

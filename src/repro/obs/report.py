@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from .recorder import Histogram
@@ -30,7 +31,8 @@ STUDY_PHASES = ("plan", "render", "assemble")
 
 def build_report(recorder, workload: dict, cache_stats: dict | None = None,
                  pool: dict | None = None,
-                 resilience: dict | None = None) -> dict:
+                 resilience: dict | None = None,
+                 events_path: str | None = None) -> dict:
     """Assemble the report document from a recorder plus run context.
 
     ``resilience`` is the supervised-execution summary produced by
@@ -39,6 +41,12 @@ def build_report(recorder, workload: dict, cache_stats: dict | None = None,
     ``checkpoint`` members become top-level report sections so dashboards
     and the CI schema check see recovery activity next to the latency
     data it perturbed.
+
+    ``events_path`` names the JSONL event-log sidecar the run streamed
+    its events to (see ``repro.obs.events``). The report embeds only the
+    summary — count, per-kind tally, emitting pid — plus the sidecar
+    path; ``--check`` re-reads the sidecar and refuses a report whose log
+    lost events.
     """
     snapshot = recorder.snapshot()
     top_level = [s for s in snapshot["spans"] if s.get("parent") is None]
@@ -46,6 +54,17 @@ def build_report(recorder, workload: dict, cache_stats: dict | None = None,
     phases = [{"name": s["name"], "start_s": s["start_s"],
                "duration_s": s["duration_s"]} for s in top_level]
     resilience = resilience or {}
+    events = None
+    if snapshot.get("events"):
+        kinds: dict[str, int] = {}
+        for event in snapshot["events"]:
+            kinds[event["kind"]] = kinds.get(event["kind"], 0) + 1
+        events = {
+            "path": events_path,
+            "count": len(snapshot["events"]),
+            "kinds": dict(sorted(kinds.items())),
+            "pid": os.getpid(),
+        }
     return {
         "kind": REPORT_KIND,
         "format": REPORT_FORMAT,
@@ -60,6 +79,7 @@ def build_report(recorder, workload: dict, cache_stats: dict | None = None,
         "retry": resilience.get("retry"),
         "degraded": resilience.get("degraded"),
         "checkpoint": resilience.get("checkpoint"),
+        "events": events,
     }
 
 
@@ -69,8 +89,14 @@ def _is_number(value) -> bool:
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
-def validate_report(payload) -> list[str]:
-    """Return the list of schema problems (empty == valid)."""
+def validate_report(payload, base_dir: str | None = None) -> list[str]:
+    """Return the list of schema problems (empty == valid).
+
+    ``base_dir`` anchors relative sidecar paths (the events JSONL named
+    by the ``events`` section); the CLI passes the report's directory.
+    Without it, relative sidecar paths resolve against the working
+    directory.
+    """
     problems: list[str] = []
     if not isinstance(payload, dict):
         return ["report is not a JSON object"]
@@ -185,6 +211,38 @@ def validate_report(payload) -> list[str]:
                 elif checkpoint[field] != counters.get(counter, 0):
                     problems.append(
                         f"checkpoint.{field} does not match counter {counter}")
+
+    # events contract: the report's event summary and the JSONL sidecar
+    # it points at must agree — a sidecar holding fewer events than the
+    # report recorded means the log was truncated after the fact
+    events = payload.get("events")
+    if events is not None:
+        if not isinstance(events, dict) or not _is_number(events.get("count")) \
+                or not isinstance(events.get("kinds"), dict):
+            problems.append("events must be null or an object with numeric "
+                            "count and a kinds tally")
+        else:
+            if sum(events["kinds"].values()) != events["count"]:
+                problems.append("events.kinds tally does not sum to "
+                                "events.count")
+            path = events.get("path")
+            if isinstance(path, str):
+                resolved = path if os.path.isabs(path) \
+                    else os.path.join(base_dir or ".", path)
+                # deferred import: reports without sidecars never pay it
+                from .events import read_events
+                try:
+                    sidecar, side_problems = read_events(resolved)
+                except FileNotFoundError:
+                    sidecar, side_problems = None, []
+                    problems.append(f"events sidecar missing at {resolved}")
+                if sidecar is not None:
+                    for problem in side_problems:
+                        problems.append(f"events sidecar: {problem}")
+                    if len(sidecar) < events["count"]:
+                        problems.append(
+                            f"events sidecar truncated: holds "
+                            f"{len(sidecar)} of {events['count']} events")
 
     # batched-render contract: any run that counted batches must also have
     # recorded the batch-size histogram, and its observations must account
@@ -301,6 +359,14 @@ def render_report(payload: dict) -> str:
         out.append("")
         out.append("pool: " + ", ".join(f"{k}={v}" for k, v in pool.items()))
 
+    events = payload.get("events")
+    if events:
+        out.append("")
+        out.append(f"events: {events['count']} recorded"
+                   + (f" -> {events['path']}" if events.get("path") else ""))
+        out.append("  " + ", ".join(f"{kind}={n}"
+                                    for kind, n in events["kinds"].items()))
+
     retry = payload.get("retry")
     if retry:
         out.append("")
@@ -365,7 +431,8 @@ def main(argv: list[str] | None = None) -> int:
                 sys.stderr.close()
         return 0
 
-    problems = validate_report(payload)
+    problems = validate_report(payload,
+                               base_dir=os.path.dirname(os.path.abspath(args.path)))
     if problems:
         print(f"error: {args.path} failed schema check:", file=sys.stderr)
         for problem in problems:

@@ -1,0 +1,247 @@
+"""Chrome trace-event export of the span tree + event log.
+
+``python -m repro.obs.trace <report.json|events.jsonl>`` converts a run
+report (``repro.obs.report``) and/or its JSONL event-log sidecar
+(``repro.obs.events``) into the Chrome trace-event format — a
+``{"traceEvents": [...]}`` document loadable in ``chrome://tracing`` and
+Perfetto. Spans become ``"X"`` complete events (microsecond ``ts`` /
+``dur``), log events become ``"i"`` instant events at their emitting
+pid, and ``"M"`` metadata events name each process lane.
+
+Clock domains: the parent's spans and events share the recorder epoch
+(``time.perf_counter() - epoch``), so they land on one timeline
+directly. Events shipped home from pool workers carry the worker's *raw*
+``perf_counter`` clock (epoch 0 — a worker cannot know the parent's
+epoch). The exporter rebases each foreign pid onto the anchor timeline:
+the pid's first event is pinned to the timestamp of the nearest
+preceding anchor-pid event in sequence order (the merge point bounds it
+from above, the preceding emit bounds it from below), and later events
+of that pid keep their true relative spacing. The anchor pid comes from
+the report's ``events`` section when exporting a report, else from the
+first event in the log (``study.start`` is always parent-side).
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from .events import EVENT_KINDS, read_events
+
+TRACE_PHASES = {"X", "i", "M"}
+
+
+def _us(seconds: float) -> float:
+    return round(float(seconds) * 1e6, 3)
+
+
+def _rebase_offsets(events: list[dict], anchor_pid: int) -> dict[int, float]:
+    """Per-pid offsets (seconds) mapping each foreign pid's raw clock onto
+    the anchor timeline. Anchor events pass through with offset 0."""
+    offsets: dict[int, float] = {anchor_pid: 0.0}
+    anchor_ts = 0.0
+    pinned_at: dict[int, float] = {}   # pid -> anchor_ts at first sighting
+    min_raw: dict[int, float] = {}     # pid -> earliest raw clock seen
+    for event in sorted(events, key=lambda e: e.get("seq", 0)):
+        pid = event.get("pid", anchor_pid)
+        t = float(event.get("t_mono_s", 0.0))
+        if pid == anchor_pid:
+            anchor_ts = t
+        else:
+            # the parent may absorb a worker's jobs out of emission order,
+            # so the pid's earliest raw clock (not its first-by-seq event)
+            # is what gets pinned — everything else lands after it
+            if pid not in pinned_at:
+                pinned_at[pid] = anchor_ts
+            if pid not in min_raw or t < min_raw[pid]:
+                min_raw[pid] = t
+    for pid, raw in min_raw.items():
+        offsets[pid] = pinned_at[pid] - raw
+    return offsets
+
+
+def _event_args(event: dict) -> dict:
+    skip = {"schema", "seq", "kind", "t_wall_s", "t_mono_s", "pid"}
+    return {k: v for k, v in event.items() if k not in skip}
+
+
+def build_trace(spans: list[dict] | None = None,
+                events: list[dict] | None = None,
+                anchor_pid: int | None = None) -> dict:
+    """Assemble a Chrome trace document from a span list (report shape)
+    and/or an event list (sidecar shape)."""
+    spans = spans or []
+    events = events or []
+    if anchor_pid is None:
+        anchor_pid = events[0].get("pid", 0) if events else 0
+    offsets = _rebase_offsets(events, anchor_pid)
+    trace_events: list[dict] = [
+        {"ph": "M", "name": "process_name", "pid": anchor_pid, "tid": 0,
+         "args": {"name": "repro study (driver)"}},
+    ]
+    for pid in sorted(offsets):
+        if pid != anchor_pid:
+            trace_events.append(
+                {"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                 "args": {"name": f"repro render worker {pid}"}})
+    for span in spans:
+        entry = {
+            "ph": "X",
+            "name": span["name"],
+            "pid": anchor_pid,
+            "tid": 0,
+            "ts": _us(span["start_s"]),
+            "dur": _us(span["duration_s"]),
+            "cat": "span",
+        }
+        if span.get("attrs"):
+            entry["args"] = dict(span["attrs"])
+        trace_events.append(entry)
+    for event in sorted(events, key=lambda e: e.get("seq", 0)):
+        pid = event.get("pid", anchor_pid)
+        t = float(event.get("t_mono_s", 0.0)) + offsets.get(pid, 0.0)
+        trace_events.append({
+            "ph": "i",
+            "name": event["kind"],
+            "pid": pid,
+            "tid": 0,
+            "ts": _us(t),
+            "s": "p",  # process-scoped instant marker
+            "cat": "event",
+            "args": _event_args(event),
+        })
+    return {"traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {"exporter": "repro.obs.trace"}}
+
+
+def validate_trace(payload) -> list[str]:
+    """Return the list of schema problems (empty == valid Chrome trace)."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["trace is not a JSON object"]
+    trace_events = payload.get("traceEvents")
+    if not isinstance(trace_events, list):
+        return ["traceEvents must be an array"]
+    for i, entry in enumerate(trace_events):
+        if not isinstance(entry, dict):
+            problems.append(f"traceEvents[{i}] is not an object")
+            continue
+        ph = entry.get("ph")
+        if ph not in TRACE_PHASES:
+            problems.append(f"traceEvents[{i}] has unsupported ph {ph!r}")
+            continue
+        if not isinstance(entry.get("name"), str):
+            problems.append(f"traceEvents[{i}] missing string name")
+        if not isinstance(entry.get("pid"), int):
+            problems.append(f"traceEvents[{i}] missing integer pid")
+        if ph in ("X", "i"):
+            ts = entry.get("ts")
+            if not isinstance(ts, (int, float)) or isinstance(ts, bool) \
+                    or ts < 0:
+                problems.append(f"traceEvents[{i}] needs non-negative ts")
+        if ph == "X":
+            dur = entry.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool) \
+                    or dur < 0:
+                problems.append(f"traceEvents[{i}] needs non-negative dur")
+        if ph == "i" and entry.get("name") not in EVENT_KINDS:
+            problems.append(
+                f"traceEvents[{i}] instant kind {entry.get('name')!r} "
+                f"is not a known event kind")
+    return problems
+
+
+# -- input dispatch ------------------------------------------------------------
+
+def _load_input(path: str):
+    """Classify ``path`` as ('trace'|'report'|'events', payload).
+
+    Reports and traces are JSON documents; an event log is JSONL (its
+    first line parses as one event object, the whole file does not parse
+    as one document)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        payload = None
+    if isinstance(payload, dict):
+        if "traceEvents" in payload:
+            return "trace", payload
+        if payload.get("kind") == "repro.obs.report":
+            return "report", payload
+        raise ValueError(f"{path} is JSON but neither a trace document nor "
+                         f"a repro.obs.report")
+    events, problems = read_events(path)
+    hard = [p for p in problems if not p.startswith("torn tail")]
+    if hard:
+        raise ValueError(f"{path}: " + "; ".join(hard))
+    return "events", events
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.trace",
+        description="Export a run report and/or its event-log sidecar to "
+                    "Chrome trace-event format (or --check an exported "
+                    "trace).")
+    parser.add_argument("path", help="run report JSON, events JSONL sidecar, "
+                                     "or an exported trace (with --check)")
+    parser.add_argument("--out", help="output path for the trace document "
+                                      "(default: <input>.trace.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="validate only; write nothing")
+    args = parser.parse_args(argv)
+
+    try:
+        shape, payload = _load_input(args.path)
+    except FileNotFoundError:
+        print(f"error: no input at {args.path}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if shape == "trace":
+        trace = payload
+    elif shape == "events":
+        trace = build_trace(events=payload)
+    else:  # report: spans from the document, events from its sidecar if any
+        events: list[dict] = []
+        anchor_pid = None
+        section = payload.get("events")
+        if isinstance(section, dict):
+            anchor_pid = section.get("pid")
+            sidecar = section.get("path")
+            if isinstance(sidecar, str):
+                resolved = sidecar if os.path.isabs(sidecar) else os.path.join(
+                    os.path.dirname(os.path.abspath(args.path)), sidecar)
+                try:
+                    events, _problems = read_events(resolved)
+                except FileNotFoundError:
+                    print(f"warning: events sidecar missing at {resolved}; "
+                          f"exporting spans only", file=sys.stderr)
+        trace = build_trace(spans=payload.get("spans"), events=events,
+                            anchor_pid=anchor_pid)
+
+    problems = validate_trace(trace)
+    if problems:
+        print(f"error: {args.path} produced an invalid trace:",
+              file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 2
+    if args.check:
+        return 0
+    out = args.out or (args.path + ".trace.json")
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, indent=1)
+        fh.write("\n")
+    print(f"wrote {len(trace['traceEvents'])} trace events -> {out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover — exercised via CLI tests
+    sys.exit(main())

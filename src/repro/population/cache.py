@@ -48,6 +48,7 @@ class RenderCache:
         self.disk_loads = 0
         self.corrupt_entries = 0
         self.stale_prunes = 0
+        self._recorder = None
         self._store: OrderedDict[str, str] = OrderedDict()
         if disk_path and not disabled:
             self._load_disk()
@@ -55,6 +56,30 @@ class RenderCache:
     @staticmethod
     def make_key(vector_name: str, stack_key: str, jitter_path: str) -> str:
         return f"{vector_name}|{stack_key}|{jitter_path}"
+
+    # -- observability ------------------------------------------------------
+    def attach_recorder(self, recorder) -> None:
+        """Bind an enabled ``repro.obs`` recorder so cache incidents land
+        in the study event log (misses, disk loads, corruption
+        quarantines, stale prunes — hits stay silent, they are the noise
+        floor). Activity that predates the bind — the disk load performed
+        in ``__init__`` — is emitted as aggregate catch-up events here.
+        A disabled recorder binds to nothing: zero calls on any path.
+        """
+        self._recorder = recorder if getattr(recorder, "enabled", False) \
+            else None
+        if self._recorder is None:
+            return
+        if self.disk_loads:
+            self._recorder.event("cache.disk_load", n=self.disk_loads)
+        if self.corrupt_entries:
+            self._recorder.event("cache.corrupt_quarantine",
+                                 n=self.corrupt_entries)
+        if self.stale_prunes:
+            self._recorder.event("cache.stale_prune", n=self.stale_prunes)
+
+    def detach_recorder(self) -> None:
+        self._recorder = None
 
     # -- counter API --------------------------------------------------------
     # Every stats mutation goes through these, including the study driver's
@@ -65,18 +90,26 @@ class RenderCache:
 
     def record_miss(self, n: int = 1) -> None:
         self.misses += n
+        if self._recorder is not None:
+            self._recorder.event("cache.miss", n=n)
 
     def record_eviction(self, n: int = 1) -> None:
         self.evictions += n
 
     def record_disk_load(self, n: int = 1) -> None:
         self.disk_loads += n
+        if self._recorder is not None:
+            self._recorder.event("cache.disk_load", n=n)
 
     def record_corrupt_entry(self, n: int = 1) -> None:
         self.corrupt_entries += n
+        if self._recorder is not None:
+            self._recorder.event("cache.corrupt_quarantine", n=n)
 
     def record_stale_prune(self, n: int = 1) -> None:
         self.stale_prunes += n
+        if self._recorder is not None:
+            self._recorder.event("cache.stale_prune", n=n)
 
     # -- core ---------------------------------------------------------------
     def get(self, key: str) -> str | None:

@@ -34,15 +34,26 @@ Observability (repro.obs) is threaded through all three phases but is
 off by default: the ``recorder`` defaults to the null object, render
 jobs carry measure=0, and no per-render recorder call is ever made — the
 dataset is bit-identical either way. When a ``Recorder`` is active (or
-``report_path`` is set), each batch is timed (``render.batch_size``
-histogram + per-batch wall clock, plus per-render amortized latency so
-per-vector histograms keep one observation per render), the first batch
-per (vector, stack) pair additionally runs under the per-node profiler,
-and pool workers return their measurements as a plain dict riding next
-to the eFPs — the parent folds those into its own recorder, so aggregate
-counters are identical at any worker count. The supervisor adds
-``retry.*`` / ``degraded.*`` / ``checkpoint.*`` counters, surfaced as
-dedicated run-report sections (schema-checked by ``repro.obs.report``).
+``report_path`` / ``event_log_path`` is set), each batch is timed
+(``render.batch_size`` histogram + per-batch wall clock, plus per-render
+amortized latency so per-vector histograms keep one observation per
+render), the first batch per (vector, stack) pair additionally runs
+under the per-node profiler, and pool workers return their measurements
+as a plain dict riding next to the eFPs — the parent folds those into
+its own recorder, so aggregate counters are identical at any worker
+count. The supervisor adds ``retry.*`` / ``degraded.*`` /
+``checkpoint.*`` counters, surfaced as dedicated run-report sections
+(schema-checked by ``repro.obs.report``).
+
+Telemetry (repro.obs.events) rides the same channel: the driver, the
+supervisor, the cache, and the checkpoint path all emit sequence events
+(study/phase lifecycle, cache misses and quarantines, checkpoint
+writes/resumes, retries/rebuilds, per-batch renders shipped home from
+pool workers inside their metrics dicts). With ``event_log_path`` set
+the sequence also streams crash-safely to a JSONL sidecar the moment
+each event lands. The opt-in ``progress`` heartbeat prints live
+classes/throughput/ETA lines to stderr from the supervisor loop; both
+are free when disabled (the NullRecorder contract is pinned by tests).
 """
 from __future__ import annotations
 
@@ -53,7 +64,8 @@ import time
 import numpy as np
 
 from ..io import atomic_write_json
-from ..obs import NULL_RECORDER, Recorder, profile_nodes
+from ..obs import (EventLog, NULL_RECORDER, ProgressMeter, Recorder,
+                   make_event, profile_nodes)
 from ..platform.jitter import sample_path, sample_repertoire
 from ..platform.stacks import AudioStack
 from ..resilience import (RetryBudget, RetryPolicy, StudyExecutionError,
@@ -100,9 +112,11 @@ def _render_class(job: tuple[str, str, AudioStack, str, int]):
     """Pool worker: render one equivalence class. Top-level for pickling.
 
     Returns ``(key, efp, metrics)`` where metrics is None unless the job
-    asked to be measured — the serializable snapshot the parent merges.
-    ``render_fault`` is the env-gated chaos hook: a no-op (one env
-    lookup) unless ``$REPRO_FAULTS`` names an active fault plan.
+    asked to be measured — the serializable snapshot the parent merges
+    (its ``events`` list rides the same boundary and is merged
+    seq-ordered into the parent's event log). ``render_fault`` is the
+    env-gated chaos hook: a no-op (one env lookup) unless
+    ``$REPRO_FAULTS`` names an active fault plan.
     """
     key, vector_name, stack, path, measure = job
     corrupt = render_fault(key)
@@ -116,10 +130,13 @@ def _render_class(job: tuple[str, str, AudioStack, str, int]):
     else:
         profiler = None
         efp = get_vector(vector_name).render(stack, path)
+    wall = time.perf_counter() - start
     metrics = {
         "vector": vector_name,
         "stack": stack.cache_key(),
-        "wall_s": time.perf_counter() - start,
+        "wall_s": wall,
+        "events": [make_event("render.class", vector=vector_name, key=key,
+                              wall_s=wall)],
     }
     if profiler is not None:
         metrics["nodes"] = profiler.seconds
@@ -154,11 +171,15 @@ def _render_group(job: tuple[str, AudioStack, list, int]):
     else:
         profiler = None
         efps = vector.render_batch(stack, paths)
+    wall = time.perf_counter() - start
     metrics = {
         "vector": vector_name,
         "stack": stack.cache_key(),
-        "wall_s": time.perf_counter() - start,
+        "wall_s": wall,
         "batch_size": len(members),
+        "events": [make_event("render.batch", vector=vector_name,
+                              stack=stack.cache_key(),
+                              batch_size=len(members), wall_s=wall)],
     }
     if profiler is not None:
         metrics["nodes"] = profiler.seconds
@@ -273,6 +294,8 @@ def _absorb_metrics(recorder, metrics: dict) -> None:
     recorder.count("render.renders")
     recorder.observe(f"render.latency_s.{metrics['vector']}", metrics["wall_s"])
     recorder.observe("pool.task_wall_s", metrics["wall_s"])
+    for event in metrics.get("events", ()):
+        recorder.merge_event(event)
     if "nodes" in metrics:
         recorder.count("render.profiled_renders")
         recorder.record_node_profile(metrics["stack"], metrics["nodes"],
@@ -299,6 +322,8 @@ def _absorb_batch_metrics(recorder, metrics: dict) -> None:
     for _ in range(size):
         recorder.observe(f"render.latency_s.{vector}", amortized)
     recorder.observe("pool.task_wall_s", wall)
+    for event in metrics.get("events", ()):
+        recorder.merge_event(event)
     if "nodes" in metrics:
         recorder.count("render.profiled_renders")
         recorder.record_node_profile(metrics["stack"], metrics["nodes"],
@@ -343,7 +368,9 @@ def run_study(user_count: int, iterations: int = 30,
               checkpoint_path: str | None = None,
               checkpoint_every: int = _CHECKPOINT_EVERY,
               retry_policy: RetryPolicy | None = None,
-              retry_budget: int | None = None) -> StudyDataset:
+              retry_budget: int | None = None,
+              event_log_path: str | None = None,
+              progress=False) -> StudyDataset:
     """Run the synthetic study and return its dataset.
 
     ``workers``: None = auto (cpu count, capped at 8), 0 = render inline.
@@ -353,7 +380,8 @@ def run_study(user_count: int, iterations: int = 30,
     ``pool.fanout_skipped`` counters.
     ``recorder``: a ``repro.obs.Recorder`` to instrument the run; None =
     observability off (null object, no per-render overhead) unless
-    ``report_path`` is set, which implies a fresh recorder.
+    ``report_path`` or ``event_log_path`` is set, which implies a fresh
+    recorder.
     ``report_path``: write a machine-readable run report (see repro.obs)
     here after the study completes.
     ``batched``: True (default) renders cache misses grouped by
@@ -369,6 +397,15 @@ def run_study(user_count: int, iterations: int = 30,
     capped deterministic backoff and give up — raising
     ``StudyExecutionError`` naming the quarantined classes — once the
     budget is spent.
+    ``event_log_path``: stream the run's telemetry events (see
+    ``repro.obs.events``) to this crash-safe append-only JSONL sidecar;
+    the run report gains an ``events`` summary section pointing at it.
+    Appending to an existing log quarantines any torn tail a previous
+    crash left to ``<path>.corrupt`` first.
+    ``progress``: True (or a writable stream) prints a throttled
+    heartbeat — classes done/total, renders/s, cache hit rate, retries,
+    ETA — to stderr (or the stream) while the render phase runs. Off by
+    default and costs nothing when off.
     Results are bit-identical regardless of worker count, cache state,
     batching, observability, checkpoint resume, or any fault recovery
     that succeeds.
@@ -390,10 +427,36 @@ def run_study(user_count: int, iterations: int = 30,
     for name in vectors:
         get_vector(name)  # fail fast on unknown vectors
     if recorder is None:
-        recorder = Recorder() if report_path is not None else NULL_RECORDER
+        recorder = Recorder() if (report_path is not None
+                                  or event_log_path is not None) \
+            else NULL_RECORDER
     measuring = recorder.enabled
     if cache is None:
         cache = RenderCache()
+    event_log = None
+    if event_log_path is not None and measuring:
+        event_log = EventLog(event_log_path)
+        recorder.attach_event_log(event_log)
+    cache.attach_recorder(recorder)
+    try:
+        return _run_study(
+            user_count, iterations, tuple(vectors), seed, cache, workers,
+            recorder, measuring, report_path, batched, checkpoint_path,
+            checkpoint_every, retry_policy, retry_budget, event_log_path,
+            progress)
+    finally:
+        cache.detach_recorder()
+        if event_log is not None:
+            recorder.detach_event_log()
+            event_log.close()
+
+
+def _run_study(user_count, iterations, vectors, seed, cache, workers,
+               recorder, measuring, report_path, batched, checkpoint_path,
+               checkpoint_every, retry_policy, retry_budget, event_log_path,
+               progress) -> StudyDataset:
+    """The study body; ``run_study`` owns argument validation and the
+    telemetry attach/detach lifecycle around it."""
     cpu = os.cpu_count() or 1
     requested_workers = workers
     if workers is None:
@@ -408,19 +471,27 @@ def run_study(user_count: int, iterations: int = 30,
         # invariant (pinned), so only wall time changes.
         workers = max(cpu, 2)
 
+    recorder.event("study.start", users=user_count, iterations=iterations,
+                   vectors=list(vectors), seed=seed, batched=batched,
+                   workers=workers)
+
+    recorder.event("phase.start", phase="plan")
     with recorder.span("plan", users=user_count, iterations=iterations,
                        vectors=list(vectors)) as plan_span:
         devices = sample_population(user_count, seed)
         item_keys, classes = _plan(devices, tuple(vectors), iterations, seed)
+        grid_items = sum(len(k) for k in item_keys.values())
         if measuring:
-            plan_span.set(grid_items=sum(len(k) for k in item_keys.values()),
+            plan_span.set(grid_items=grid_items,
                           distinct_classes=len(classes))
+    recorder.event("phase.end", phase="plan")
 
     checkpoint_info = {"enabled": checkpoint_path is not None, "writes": 0,
                        "torn_writes": 0, "resumed_classes": 0,
                        "corrupt_recoveries": 0}
     fingerprint = study_fingerprint(seed, user_count, iterations, vectors)
 
+    recorder.event("phase.start", phase="render")
     with recorder.span("render") as render_span:
         resumed: dict[str, str] = {}
         if checkpoint_path is not None:
@@ -428,6 +499,8 @@ def run_study(user_count: int, iterations: int = 30,
             if problem is not None:
                 checkpoint_info["corrupt_recoveries"] += 1
                 recorder.count("checkpoint.corrupt")
+                recorder.event("checkpoint.corrupt_quarantine",
+                               problem=problem)
             # only classes this study actually plans can be resumed; an
             # ENGINE_VERSION bump changes every stack key, so stale
             # checkpoints resume nothing (and re-render everything)
@@ -436,6 +509,7 @@ def run_study(user_count: int, iterations: int = 30,
             if resumed:
                 checkpoint_info["resumed_classes"] = len(resumed)
                 recorder.count("checkpoint.resumed_classes", len(resumed))
+                recorder.event("checkpoint.resume", classes=len(resumed))
 
         if cache.disabled:
             # honest baseline: one real render per grid item, same pool
@@ -477,6 +551,12 @@ def run_study(user_count: int, iterations: int = 30,
             seed=seed, splitter=splitter, validator=validator,
             keys_of=keys_of)
 
+        meter = None
+        if progress:
+            stream = progress if hasattr(progress, "write") else None
+            meter = ProgressMeter(total_jobs=len(jobs),
+                                  total_classes=len(keyed), stream=stream)
+
         rendered: dict[str, str] = dict(resumed)
         completed_jobs = 0
 
@@ -485,9 +565,13 @@ def run_study(user_count: int, iterations: int = 30,
                                 completed_jobs):
                 checkpoint_info["writes"] += 1
                 recorder.count("checkpoint.writes")
+                recorder.event("checkpoint.write",
+                               completed_jobs=completed_jobs)
             else:
                 checkpoint_info["torn_writes"] += 1
                 recorder.count("checkpoint.torn_writes")
+                recorder.event("checkpoint.torn_write",
+                               completed_jobs=completed_jobs)
 
         try:
             for result in supervisor.run(jobs):
@@ -504,6 +588,11 @@ def run_study(user_count: int, iterations: int = 30,
                 if checkpoint_path is not None \
                         and completed_jobs % checkpoint_every == 0:
                     _checkpoint()
+                if meter is not None:
+                    meter.update(completed_jobs,
+                                 len(rendered) - len(resumed),
+                                 retries=supervisor.retries,
+                                 hit_rate=cache.hit_rate)
         except StudyExecutionError:
             # persist everything that DID render before surfacing the
             # failure: a later run with the stack fixed resumes from here
@@ -512,10 +601,15 @@ def run_study(user_count: int, iterations: int = 30,
             raise
         if checkpoint_path is not None:
             _checkpoint()
+        if meter is not None:
+            meter.finish(len(rendered) - len(resumed),
+                         retries=supervisor.retries,
+                         hit_rate=cache.hit_rate)
         if not cache.disabled:
             for key, efp in rendered.items():
                 cache.put(key, efp)
         lookup = rendered.__getitem__ if cache.disabled else cache.get
+    recorder.event("phase.end", phase="render")
 
     resilience_info = supervisor.summary()
     resilience_info["checkpoint"] = checkpoint_info
@@ -540,6 +634,7 @@ def run_study(user_count: int, iterations: int = 30,
     else:
         pool_info = None
 
+    recorder.event("phase.start", phase="assemble")
     with recorder.span("assemble"):
         dataset = StudyDataset(
             seed=seed,
@@ -552,14 +647,18 @@ def run_study(user_count: int, iterations: int = 30,
             dataset.series[vector_name] = {}
         for (vector_name, user_id), keys in item_keys.items():
             dataset.series[vector_name][user_id] = [lookup(key) for key in keys]
+    recorder.event("phase.end", phase="assemble")
+    recorder.event("study.end", grid_items=grid_items,
+                   distinct_classes=len(classes), rendered=len(rendered))
 
     if report_path is not None:
         from ..obs.report import build_report  # deferred: only report users pay for it
         workload = {"users": user_count, "iterations": iterations,
                     "vectors": list(vectors), "seed": seed,
-                    "grid_items": sum(len(k) for k in item_keys.values()),
+                    "grid_items": grid_items,
                     "distinct_classes": len(classes)}
         report = build_report(recorder, workload, cache_stats=cache.stats(),
-                              pool=pool_info, resilience=resilience_info)
+                              pool=pool_info, resilience=resilience_info,
+                              events_path=event_log_path)
         atomic_write_json(report_path, report, indent=2)
     return dataset

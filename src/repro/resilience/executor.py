@@ -112,6 +112,11 @@ class SupervisedExecutor:
                 budget_limit=self.budget.limit,
                 budget_exhausted=self.budget.exhausted)
 
+    @property
+    def retries(self) -> int:
+        """Retries so far — read by the live progress heartbeat."""
+        return self._counts["retries"]
+
     def summary(self) -> dict:
         """Report-shaped snapshot: the ``retry`` and ``degraded`` sections
         of the run report (see ``repro.obs.report``)."""
@@ -151,6 +156,9 @@ class SupervisedExecutor:
         self._counts[counter_key] += 1
         if self._measuring:
             self._recorder.count(_FAIL_COUNTERS[kind])
+            self._recorder.event("job.failed", failure=kind,
+                                 key=state.token,
+                                 failures=state.failures + 1)
         state.failures += 1
 
         if self._splitter is not None \
@@ -160,6 +168,8 @@ class SupervisedExecutor:
                 self._counts["bisections"] += 1
                 if self._measuring:
                     self._recorder.count("retry.bisections")
+                    self._recorder.event("job.bisected", key=state.token,
+                                         halves=len(halves))
                 for sub in reversed(halves):
                     states.appendleft(_JobState(sub, self._keys_of(sub)[0]))
                 return
@@ -170,6 +180,8 @@ class SupervisedExecutor:
             self._quarantined.extend(keys)
             if self._measuring:
                 self._recorder.count("retry.quarantined", len(keys))
+                self._recorder.event("job.quarantined", keys=list(keys),
+                                     failures=state.failures)
             return
 
         delay = self.policy.backoff_delay(state.failures, self._seed,
@@ -178,6 +190,8 @@ class SupervisedExecutor:
         if self._measuring:
             self._recorder.count("retry.retries")
             self._recorder.observe("retry.backoff_s", delay)
+            self._recorder.event("job.retry", key=state.token,
+                                 failures=state.failures, delay_s=delay)
         state.not_before = self._clock() + delay
         states.append(state)
 
@@ -245,6 +259,8 @@ class SupervisedExecutor:
         self._counts["pool_rebuilds"] += 1
         if self._measuring:
             self._recorder.count("degraded.pool_rebuilds")
+            self._recorder.event("pool.rebuild",
+                                 rebuilds=self._counts["pool_rebuilds"])
         if self._counts["pool_rebuilds"] > self.policy.max_pool_rebuilds:
             return None
         return self._new_pool()
@@ -261,6 +277,7 @@ class SupervisedExecutor:
                         self._inline_fallback = True
                         if self._measuring:
                             self._recorder.count("degraded.inline_fallbacks")
+                            self._recorder.event("pool.inline_fallback")
                     for _, (state, _) in in_flight.items():
                         states.append(state)
                     in_flight.clear()

@@ -169,3 +169,84 @@ class TestNullRecorder:
     def test_null_span_handle_is_shared(self):
         # the fast-path guarantee: repeated span() calls allocate nothing
         assert NULL_RECORDER.span("a") is NULL_RECORDER.span("b")
+
+
+class TestHistogramProperties:
+    """Property tests over seeded random observation sets: the merge
+    algebra the pool protocol relies on, and quantile sanity."""
+
+    @staticmethod
+    def _hist(values):
+        hist = Histogram()
+        for value in values:
+            hist.observe(value)
+        return hist
+
+    @staticmethod
+    def _samples(seed, n):
+        import random
+        rng = random.Random(seed)
+        return [rng.lognormvariate(mu=-8.0, sigma=2.5) for _ in range(n)]
+
+    @staticmethod
+    def _same(a: Histogram, b: Histogram):
+        assert a.count == b.count
+        assert a.buckets == b.buckets
+        assert a.min == b.min and a.max == b.max
+        assert a.total == pytest.approx(b.total, rel=1e-12)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_merge_is_commutative(self, seed):
+        xs = self._samples(seed, 300)
+        ys = self._samples(seed + 100, 200)
+        ab = self._hist(xs)
+        ab.merge(self._hist(ys))
+        ba = self._hist(ys)
+        ba.merge(self._hist(xs))
+        self._same(ab, ba)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_merge_is_associative(self, seed):
+        parts = [self._samples(seed * 10 + i, 150) for i in range(3)]
+        left = self._hist(parts[0])
+        left.merge(self._hist(parts[1]))
+        left.merge(self._hist(parts[2]))
+        inner = self._hist(parts[1])
+        inner.merge(self._hist(parts[2]))
+        right = self._hist(parts[0])
+        right.merge(inner)
+        self._same(left, right)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_merge_equals_observing_everything_once(self, seed):
+        xs = self._samples(seed, 250)
+        ys = self._samples(seed + 7, 250)
+        merged = self._hist(xs)
+        merged.merge(self._hist(ys))
+        self._same(merged, self._hist(xs + ys))
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_quantiles_are_monotone_in_q(self, seed):
+        hist = self._hist(self._samples(seed, 400))
+        qs = [i / 20 for i in range(21)]
+        estimates = [hist.approx_quantile(q) for q in qs]
+        assert estimates == sorted(estimates)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_quantiles_stay_inside_the_observed_range(self, seed):
+        values = self._samples(seed, 100)
+        hist = self._hist(values)
+        for q in (0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0):
+            assert min(values) <= hist.approx_quantile(q) <= max(values)
+        assert hist.approx_quantile(0.0) == min(values)
+        assert hist.approx_quantile(1.0) == max(values)
+
+    def test_interior_quantile_interpolates_below_the_bucket_bound(self):
+        # the median bucket holds 98 of 100 observations (outliers keep
+        # the min/max clamp from binding): the estimate must be the
+        # geometric midpoint (upper/sqrt(2)), not the pessimistic bound
+        hist = self._hist([1e-5] + [0.0015] * 98 + [0.1])
+        import math
+        upper = Histogram.bucket_upper_bound(Histogram.bucket_index(0.0015))
+        assert hist.approx_quantile(0.5) == pytest.approx(upper / math.sqrt(2))
+        assert hist.approx_quantile(0.5) < upper

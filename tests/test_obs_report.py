@@ -3,6 +3,7 @@ self-consistent report; validate_report catches malformations; the
 `python -m repro.obs.report` CLI renders and schema-checks it."""
 import copy
 import json
+import os
 import subprocess
 import sys
 
@@ -169,3 +170,71 @@ class TestCLI:
             capture_output=True, text=True, env=env)
         assert proc.returncode == 0, proc.stderr
         assert "RuntimeWarning" not in proc.stderr
+
+
+class TestChaosReportCheck:
+    """--check on reports from fault-injected runs, and on reports whose
+    events sidecar was damaged after the fact."""
+
+    @pytest.fixture()
+    def chaos_report(self, tmp_path, monkeypatch):
+        """A $REPRO_FAULTS-injected study run with report + events
+        sidecar (one crash and one corrupt return, both recovered)."""
+        from repro import FaultPlan
+        from repro.resilience import Fault, RetryPolicy
+        from repro.resilience.faults import ENV_VAR
+        study = dict(user_count=6, iterations=3,
+                     vectors=("dc", "fft", "hybrid"), seed=11)
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        probe = RenderCache()
+        run_study(cache=probe, workers=0, **study)
+        keys = sorted(probe._store)
+        plan = FaultPlan(seed=3, faults=(
+            Fault(kind="crash", keys=(keys[0],), times=1),
+            Fault(kind="corrupt", keys=(keys[-1],), times=1),
+        ))
+        monkeypatch.setenv(ENV_VAR, plan.save(str(tmp_path / "plan.json")))
+        report_path = str(tmp_path / "report.json")
+        events_path = str(tmp_path / "events.jsonl")
+        run_study(cache=RenderCache(), workers=0, report_path=report_path,
+                  event_log_path=events_path,
+                  retry_policy=RetryPolicy(base_delay_s=0.005,
+                                           max_delay_s=0.05),
+                  **study)
+        return report_path, events_path
+
+    def test_chaos_run_report_passes_check(self, chaos_report):
+        report_path, _ = chaos_report
+        payload = json.load(open(report_path))
+        # the faults really perturbed the run this report describes
+        assert payload["retry"]["retries"] >= 2
+        assert payload["events"]["kinds"].get("job.failed", 0) == 2
+        assert report_main([report_path, "--check"]) == 0
+
+    def test_truncated_events_sidecar_fails_check_with_named_error(
+            self, chaos_report, capsys):
+        report_path, events_path = chaos_report
+        with open(events_path, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+        with open(events_path, "w", encoding="utf-8") as fh:
+            fh.writelines(lines[: len(lines) // 2])
+        assert report_main([report_path, "--check"]) == 2
+        err = capsys.readouterr().err
+        assert "events sidecar truncated" in err
+        assert f"holds {len(lines) // 2} of {len(lines)} events" in err
+
+    def test_missing_events_sidecar_fails_check(self, chaos_report, capsys):
+        report_path, events_path = chaos_report
+        os.remove(events_path)
+        assert report_main([report_path, "--check"]) == 2
+        assert "events sidecar missing" in capsys.readouterr().err
+
+    def test_torn_sidecar_tail_is_reported_as_a_sidecar_problem(
+            self, chaos_report, capsys):
+        """A sidecar whose final line was torn by a crash: the events
+        before it are intact but --check must surface the tear."""
+        report_path, events_path = chaos_report
+        with open(events_path, "ab") as fh:
+            fh.write(b'{"schema": 1, "kind": "study.e')
+        assert report_main([report_path, "--check"]) == 2
+        assert "events sidecar: torn tail" in capsys.readouterr().err

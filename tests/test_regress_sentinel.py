@@ -1,0 +1,123 @@
+"""The bench-regression sentinel: committed baselines pass verbatim, a
+degraded run fails naming the metric and baseline, tolerance bands are
+direction-aware and one-sided."""
+import copy
+import json
+import os
+
+import pytest
+
+from repro.obs.regress import (BASELINES, SPECS, build_verdict, compare,
+                               main)
+
+BENCH_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "benchmarks")
+
+
+def _baseline(name: str) -> dict:
+    with open(os.path.join(BENCH_DIR, BASELINES[name]),
+              encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _write(tmp_path, name, payload):
+    path = str(tmp_path / f"{name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+    return path
+
+
+class TestCompare:
+    def test_identical_run_is_all_ok_or_skipped(self):
+        for name in BASELINES:
+            baseline = _baseline(name)
+            results = compare(baseline, baseline, SPECS[name])
+            assert all(r["status"] in ("ok", "skipped") for r in results)
+
+    def test_higher_is_better_band_is_one_sided(self):
+        baseline = {"benchmark": "x", "rate": 100.0}
+        specs = [("rate", "higher", 0.4)]
+        assert compare({"rate": 61.0}, baseline, specs)[0]["status"] == "ok"
+        assert compare({"rate": 59.0}, baseline, specs)[0]["status"] == \
+            "regression"
+        # improvements never fail
+        assert compare({"rate": 1000.0}, baseline, specs)[0]["status"] == "ok"
+
+    def test_lower_is_better_band_is_one_sided(self):
+        baseline = {"ratio": 1.0}
+        specs = [("ratio", "lower", 0.5)]
+        assert compare({"ratio": 1.4}, baseline, specs)[0]["status"] == "ok"
+        assert compare({"ratio": 1.6}, baseline, specs)[0]["status"] == \
+            "regression"
+        assert compare({"ratio": 0.01}, baseline, specs)[0]["status"] == "ok"
+
+    def test_tolerance_scale_widens_the_band(self):
+        baseline = {"rate": 100.0}
+        specs = [("rate", "higher", 0.2)]
+        assert compare({"rate": 70.0}, baseline, specs)[0]["status"] == \
+            "regression"
+        assert compare({"rate": 70.0}, baseline, specs,
+                       tolerance_scale=2.0)[0]["status"] == "ok"
+
+    def test_metric_missing_from_baseline_is_skipped(self):
+        results = compare({"new_metric": 5.0}, {}, [("new_metric", "higher",
+                                                     0.1)])
+        assert results[0]["status"] == "skipped"
+
+    def test_metric_missing_from_fresh_fails(self):
+        results = compare({}, {"rate": 100.0}, [("rate", "higher", 0.1)])
+        assert results[0]["status"] == "missing"
+        verdict = build_verdict([{"benchmark": "x", "fresh_path": "f",
+                                  "baseline_path": "b", "results": results}])
+        assert not verdict["ok"]
+
+
+class TestSentinelCLI:
+    def test_committed_baselines_pass_verbatim(self, capsys):
+        paths = [os.path.join(BENCH_DIR, BASELINES[name])
+                 for name in sorted(BASELINES)]
+        assert main(paths + ["--baseline-dir", BENCH_DIR]) == 0
+        out = capsys.readouterr().out
+        assert "within tolerance" in out
+
+    def test_degraded_throughput_fails_naming_metric_and_baseline(
+            self, tmp_path, capsys):
+        degraded = copy.deepcopy(_baseline("bench_render_perf"))
+        degraded["batched"]["renders_per_s"] *= 0.5
+        path = _write(tmp_path, "fresh_render", degraded)
+        verdict_path = str(tmp_path / "verdict.json")
+        rc = main([path, "--baseline-dir", BENCH_DIR,
+                   "--out", verdict_path])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "batched.renders_per_s" in err
+        assert "BENCH_render.json" in err
+        verdict = json.load(open(verdict_path))
+        assert verdict["kind"] == "repro.obs.regress"
+        assert verdict["ok"] is False
+        failing = [(f["benchmark"], f["metric"]) for f in verdict["failures"]]
+        assert failing == [("bench_render_perf", "batched.renders_per_s")]
+
+    def test_degraded_overhead_ratio_fails(self, tmp_path, capsys):
+        degraded = copy.deepcopy(_baseline("bench_obs_overhead"))
+        degraded["study_wall_s"]["enabled_ratio"] *= 2.0
+        path = _write(tmp_path, "fresh_obs", degraded)
+        assert main([path, "--baseline-dir", BENCH_DIR]) == 1
+        assert "enabled_ratio" in capsys.readouterr().err
+
+    def test_unknown_benchmark_is_a_usage_error(self, tmp_path, capsys):
+        path = _write(tmp_path, "mystery", {"benchmark": "bench_mystery"})
+        assert main([path, "--baseline-dir", BENCH_DIR]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_missing_fresh_file_is_a_usage_error(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.json")]) == 2
+        assert "no fresh benchmark" in capsys.readouterr().err
+
+    def test_verdict_artifact_written_even_on_pass(self, tmp_path, capsys):
+        path = os.path.join(BENCH_DIR, BASELINES["bench_collation"])
+        verdict_path = str(tmp_path / "verdict.json")
+        assert main([path, "--baseline-dir", BENCH_DIR,
+                     "--out", verdict_path]) == 0
+        verdict = json.load(open(verdict_path))
+        assert verdict["ok"] is True and verdict["checked"] >= 1
