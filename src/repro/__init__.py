@@ -15,16 +15,22 @@ Top-level convenience surface; the layers live in:
 """
 
 from .analysis import build_analysis_report, collate  # noqa: F401
+from .analysis.shards import (build_shard_report,  # noqa: F401
+                              merge_shard_reports)
 from .obs import NullRecorder, Recorder  # noqa: F401
-from .population import RenderCache, StudyDataset, run_study  # noqa: F401
+from .population import (RenderCache, ShardIntegrityError,  # noqa: F401
+                         StudyDataset, run_study, run_study_sharded)
 from .resilience import (FaultPlan, RetryBudget, RetryPolicy,  # noqa: F401
                          StudyExecutionError)
 from .webaudio import OfflineAudioContext  # noqa: F401
 
 __version__ = "0.1.0"
 
-__all__ = ["run_study", "RenderCache", "StudyDataset", "OfflineAudioContext",
+__all__ = ["run_study", "run_study_sharded", "RenderCache", "StudyDataset",
+           "OfflineAudioContext",
            "collate", "build_analysis_report",
+           "build_shard_report", "merge_shard_reports",
+           "ShardIntegrityError",
            "Recorder", "NullRecorder",
            "StudyExecutionError", "RetryPolicy", "RetryBudget", "FaultPlan",
            "__version__"]

@@ -22,6 +22,10 @@ from .entropy import (distribution, normalized_entropy,  # noqa: F401
 from .report import (ANALYSIS_FORMAT, ANALYSIS_KIND,  # noqa: F401
                      build_analysis_report, dumps_analysis_report,
                      render_analysis_report, validate_analysis_report)
+from .shards import (SHARD_REPORT_FORMAT, SHARD_REPORT_KIND,  # noqa: F401
+                     build_shard_report, dumps_shard_or_merged,
+                     merge_shard_reports, render_shard_report,
+                     validate_shard_report)
 
 __all__ = [
     "UnionFind", "VectorCollation", "collate", "collate_vector",
@@ -31,4 +35,7 @@ __all__ = [
     "ANALYSIS_FORMAT", "ANALYSIS_KIND", "build_analysis_report",
     "dumps_analysis_report", "render_analysis_report",
     "validate_analysis_report",
+    "SHARD_REPORT_FORMAT", "SHARD_REPORT_KIND", "build_shard_report",
+    "dumps_shard_or_merged", "merge_shard_reports", "render_shard_report",
+    "validate_shard_report",
 ]

@@ -1,14 +1,26 @@
 """``python -m repro.analysis`` — dataset in, metrics report out.
 
-Consumes a ``StudyDataset`` JSON (as written by ``StudyDataset.save``,
-validated on load), collates every vector, and emits the deterministic
-analysis report: to ``--out`` via the crash-safe atomic writer, or to
-stdout. The same dataset always produces byte-identical report files.
+Three modes, one deterministic contract:
+
+  default   consume a ``StudyDataset`` JSON (as written by
+            ``StudyDataset.save``, validated on load), collate every
+            vector, and emit the analysis report.
+  --shard   consume one *shard manifest* (written by
+            ``run_study_sharded``), verify the shard's bytes against it,
+            and emit the shard's mergeable report — O(distinct eFPs),
+            not O(users).
+  --merge   consume shard reports (``shard_report_*.json``) covering a
+            full partition of the study and emit the merged analysis
+            report — byte-identical to what the default mode produces
+            from the monolithic dataset, in any merge order.
+
+Output goes to ``--out`` via the crash-safe atomic writer, or to stdout.
+The same inputs always produce byte-identical report files.
 
 ``--timings`` runs the pipeline under a live ``repro.obs`` recorder and
 prints phase spans (load/collate/entropy/combine) and collation counters
 to stderr — timings never enter the report itself, which must stay a
-pure function of the dataset.
+pure function of its inputs.
 """
 from __future__ import annotations
 
@@ -34,12 +46,96 @@ def _print_timings(recorder: Recorder) -> None:
         print(f"  counter {name:<21} {value:g}", file=sys.stderr)
 
 
+def _emit(args, report: dict, text: str, render) -> int:
+    if args.out:
+        atomic_write_text(args.out, text)
+        print(f"wrote {args.out}", file=sys.stderr)
+    elif args.render:
+        print(render(report))
+    elif not args.check:
+        sys.stdout.write(text)
+    return 0
+
+
+def _run_shard_mode(args, recorder) -> int:
+    from ..population.shards import (ShardIntegrityError,
+                                     dataset_from_records, load_shard)
+    from .shards import (build_shard_report, dumps_shard_or_merged,
+                         render_shard_report, validate_shard_report)
+    if len(args.paths) != 1:
+        print("error: --shard takes exactly one shard manifest path",
+              file=sys.stderr)
+        return 2
+    manifest_path = args.paths[0]
+    try:
+        with recorder.span("load"):
+            manifest, records = load_shard(manifest_path)
+            dataset = dataset_from_records(manifest, records)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ShardIntegrityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with recorder.span("collate"):
+        report = build_shard_report(dataset, manifest)
+    problems = validate_shard_report(report)
+    if problems:
+        print("error: built shard report failed its own schema check:",
+              file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 2
+    return _emit(args, report, dumps_shard_or_merged(report),
+                 render_shard_report)
+
+
+def _run_merge_mode(args, recorder) -> int:
+    from .shards import dumps_shard_or_merged, merge_shard_reports
+    reports = []
+    for path in args.paths:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                reports.append(json.load(fh))
+        except FileNotFoundError:
+            print(f"error: no shard report at {path}", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as exc:
+            print(f"error: {path} is not valid JSON: {exc}", file=sys.stderr)
+            return 2
+    try:
+        with recorder.span("merge"):
+            merged = merge_shard_reports(reports)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    problems = validate_analysis_report(merged)
+    if problems:
+        print("error: merged report failed the analysis schema check:",
+              file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 2
+    return _emit(args, merged, dumps_shard_or_merged(merged),
+                 render_analysis_report)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Collate a StudyDataset and emit the entropy/anonymity "
-                    "analysis report (deterministic JSON).")
-    parser.add_argument("dataset", help="path to a StudyDataset JSON file")
+        description="Collate fingerprint data and emit the deterministic "
+                    "entropy/anonymity analysis report (monolithic "
+                    "dataset, single shard, or merged shard reports).")
+    parser.add_argument("paths", nargs="+",
+                        help="a StudyDataset JSON (default), one shard "
+                             "manifest (--shard), or shard report JSONs "
+                             "(--merge)")
+    parser.add_argument("--shard", action="store_true",
+                        help="treat the path as a shard manifest and emit "
+                             "that shard's mergeable report")
+    parser.add_argument("--merge", action="store_true",
+                        help="merge shard reports covering the full study "
+                             "into the monolithic analysis report")
     parser.add_argument("--out", help="write the report here (atomic write); "
                                       "default: print JSON to stdout")
     parser.add_argument("--check", action="store_true",
@@ -50,20 +146,38 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--timings", action="store_true",
                         help="print repro.obs spans/counters to stderr")
     args = parser.parse_args(argv)
+    if args.shard and args.merge:
+        parser.error("--shard and --merge are mutually exclusive")
 
     recorder = Recorder() if args.timings else NULL_RECORDER
+    if args.shard:
+        code = _run_shard_mode(args, recorder)
+    elif args.merge:
+        code = _run_merge_mode(args, recorder)
+    else:
+        code = _run_dataset_mode(args, parser, recorder)
+    if args.timings and code == 0:
+        _print_timings(recorder)
+    return code
+
+
+def _run_dataset_mode(args, parser, recorder) -> int:
+    if len(args.paths) != 1:
+        parser.error("exactly one dataset path expected "
+                     "(use --merge for multiple shard reports)")
+    path = args.paths[0]
     try:
         with recorder.span("load"):
-            dataset = StudyDataset.load(args.dataset)
+            dataset = StudyDataset.load(path)
     except FileNotFoundError:
-        print(f"error: no dataset at {args.dataset}", file=sys.stderr)
+        print(f"error: no dataset at {path}", file=sys.stderr)
         return 2
     except json.JSONDecodeError as exc:
-        print(f"error: {args.dataset} is not valid JSON: {exc}",
+        print(f"error: {path} is not valid JSON: {exc}",
               file=sys.stderr)
         return 2
     except (ValueError, KeyError) as exc:
-        print(f"error: {args.dataset} is not a valid StudyDataset: {exc}",
+        print(f"error: {path} is not a valid StudyDataset: {exc}",
               file=sys.stderr)
         return 2
 
@@ -75,17 +189,8 @@ def main(argv: list[str] | None = None) -> int:
         for problem in problems:
             print(f"  - {problem}", file=sys.stderr)
         return 2
-
-    if args.out:
-        atomic_write_text(args.out, dumps_analysis_report(report))
-        print(f"wrote {args.out}", file=sys.stderr)
-    elif args.render:
-        print(render_analysis_report(report))
-    elif not args.check:
-        sys.stdout.write(dumps_analysis_report(report))
-    if args.timings:
-        _print_timings(recorder)
-    return 0
+    return _emit(args, report, dumps_analysis_report(report),
+                 render_analysis_report)
 
 
 if __name__ == "__main__":  # pragma: no cover — exercised via CLI tests

@@ -1,0 +1,480 @@
+"""Shard-mergeable analysis: external-memory collation at million-user scale.
+
+The monolithic pipeline (``build_analysis_report``) needs the whole
+``StudyDataset`` in memory. At the north star's scale that is exactly
+the thing we cannot have — so this module splits the analysis into a
+*mergeable* form built on one observation: every quantity in the
+analysis report is a label-free function of **count multisets** (per-eFP
+observation counts, per-component user counts, per-tuple user counts)
+plus a handful of per-user scalars that sum. Nothing in the report needs
+per-user rows once those counts exist.
+
+A *shard report* is therefore O(distinct eFPs + distinct tuples), not
+O(users). Per vector it carries:
+
+  labels         the shard's distinct eFPs (shard-local interning order)
+  observations   per-label total occurrence counts
+  first          per-label first-observation (one per user) counts
+  edges          the shard's deduplicated co-observation star edges, as
+                 label-index pairs
+  stability      summed/maxed per-user scalars (fickleness, collapse)
+
+plus one cross-vector ``combined.tuples`` counter (per-user tuples of
+first-observed eFPs, as label indices).
+
+``merge_shard_reports`` re-interns labels globally, sums the count
+vectors, unions the edge sets (unordered label pairs dedupe exactly the
+way the monolithic ``np.unique`` pass does), runs the same array-backed
+union-find over the union, and re-assembles a **byte-identical**
+monolithic analysis report:
+
+- counts are integers, so sums are exact and associative;
+- every float in a report is ``_round``-ed from a count multiset that
+  matches the monolithic one element-for-element, and ``_sorted_counts``
+  sorts before reducing, so the IEEE-754 partial sums agree too;
+- per-user scalars (``raw_mean_distinct_efps`` etc.) merge as exact
+  integer sums divided once at the end — the same float64 division
+  ``np.mean`` performs.
+
+Merge order therefore cannot matter (pinned by tests), and
+``python -m repro.analysis --merge shard_report_*.json`` of a full
+partition produces the same bytes as analysing the monolithic dataset.
+"""
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+import numpy as np
+
+from .collation import UnionFind, series_edges
+from .entropy import _round, distribution
+from .report import ANALYSIS_FORMAT, ANALYSIS_KIND
+
+SHARD_REPORT_KIND = "repro.analysis.shard_report"
+SHARD_REPORT_FORMAT = 1
+
+
+def _is_count(value) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool) \
+        and value >= 0
+
+
+# -- building one shard's report ----------------------------------------------
+
+def build_shard_report(dataset, manifest: dict) -> dict:
+    """Reduce one shard's (shard-sized) dataset to its mergeable report.
+
+    ``dataset`` holds only this shard's users (see
+    ``population.shards.dataset_from_records``); ``manifest`` supplies
+    the global study fingerprint and the shard range.
+    """
+    study = manifest["study"]
+    shard = manifest["shard"]
+    if dataset.user_count != shard["users"]:
+        raise ValueError(
+            f"dataset holds {dataset.user_count} users but the shard "
+            f"manifest covers {shard['users']}")
+    vectors = tuple(study["vectors"])
+    sections = {}
+    first_codes = []
+    for name in vectors:
+        codes, labels, _user_ids = dataset.intern(name)
+        edges = series_edges(codes)
+        # local collation: the stability collapse is *computed* per shard
+        # (never assumed), exactly like the monolithic path — a user's
+        # own series connects all their eFPs, so local and global
+        # components agree on every per-user collapse scalar
+        uf = UnionFind(len(labels))
+        uf.union_edges(edges)
+        roots = uf.roots()
+        if len(labels):
+            _, comp = np.unique(roots, return_inverse=True)
+        else:
+            comp = np.empty(0, dtype=np.int64)
+        s = np.sort(codes, axis=1)
+        raw_distinct = 1 + (s[:, 1:] != s[:, :-1]).sum(axis=1)
+        cs = np.sort(comp[codes], axis=1) if codes.size \
+            else np.empty_like(codes)
+        coll_distinct = 1 + (cs[:, 1:] != cs[:, :-1]).sum(axis=1)
+        fickle = raw_distinct > 1
+        users = int(raw_distinct.shape[0])
+        sections[name] = {
+            "labels": labels,
+            "observations": np.bincount(
+                codes.ravel(), minlength=len(labels)).tolist(),
+            "first": np.bincount(
+                codes[:, 0], minlength=len(labels)).tolist(),
+            "edges": edges.tolist(),
+            "stability": {
+                "users": users,
+                "raw_fickle_users": int(fickle.sum()),
+                "raw_distinct_sum": int(raw_distinct.sum()),
+                "raw_max_distinct_efps": int(raw_distinct.max())
+                if users else 0,
+                "fickle_users_collapsed": int(
+                    (coll_distinct[fickle] == 1).sum()),
+                "collated_stable_users": int((coll_distinct == 1).sum()),
+                "collated_max_ids_per_user": int(coll_distinct.max())
+                if users else 0,
+            },
+        }
+        first_codes.append(codes[:, 0])
+    stacked = np.stack(first_codes, axis=1)
+    tuple_counts = Counter(tuple(row) for row in stacked.tolist())
+    tuples = sorted([list(key), int(count)]
+                    for key, count in tuple_counts.items())
+    return {
+        "kind": SHARD_REPORT_KIND,
+        "format": SHARD_REPORT_FORMAT,
+        "study": dict(study),
+        "shard": dict(shard),
+        "engine_version": manifest["engine_version"],
+        "vectors": sections,
+        "combined": {"tuples": tuples},
+    }
+
+
+def dumps_shard_or_merged(report: dict) -> str:
+    """The canonical byte encoding for shard reports *and* merged
+    analysis reports — the same formula ``dumps_analysis_report`` uses,
+    so a merged report is diffable byte-for-byte against the monolithic
+    CLI's output."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+# -- validation ---------------------------------------------------------------
+
+def validate_shard_report(payload) -> list[str]:
+    """Return the list of schema/integrity problems (empty == valid)."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["shard report is not a JSON object"]
+    if payload.get("kind") != SHARD_REPORT_KIND:
+        problems.append(f"kind must be {SHARD_REPORT_KIND!r}, "
+                        f"got {payload.get('kind')!r}")
+    if payload.get("format") != SHARD_REPORT_FORMAT:
+        problems.append(f"format must be {SHARD_REPORT_FORMAT}, "
+                        f"got {payload.get('format')!r}")
+
+    study = payload.get("study")
+    if not isinstance(study, dict):
+        problems.append("study must be an object")
+        study = {}
+    for key in ("seed", "user_count", "iterations"):
+        value = study.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            problems.append(f"study.{key} must be an integer")
+    declared = study.get("vectors")
+    if not isinstance(declared, list) or not declared \
+            or not all(isinstance(v, str) for v in declared):
+        problems.append("study.vectors must be a non-empty array of strings")
+        declared = []
+
+    shard = payload.get("shard")
+    if not isinstance(shard, dict):
+        problems.append("shard must be an object")
+        shard = {}
+    users = None
+    if all(_is_count(shard.get(k)) for k in ("start", "stop", "users")) \
+            and shard["start"] < shard["stop"] \
+            and shard["users"] == shard["stop"] - shard["start"]:
+        users = shard["users"]
+        if isinstance(study.get("user_count"), int) \
+                and shard["stop"] > study["user_count"]:
+            problems.append("shard range exceeds study.user_count")
+    else:
+        problems.append("shard must carry integer start/stop/users with "
+                        "stop > start and users == stop - start")
+
+    iterations = study.get("iterations")
+    vectors = payload.get("vectors")
+    if not isinstance(vectors, dict):
+        problems.append("vectors must be an object")
+        vectors = {}
+    if declared and sorted(vectors) != sorted(declared):
+        problems.append("vectors keys do not match study.vectors")
+
+    for name, sec in vectors.items():
+        where = f"vectors[{name!r}]"
+        if not isinstance(sec, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        labels = sec.get("labels")
+        if not isinstance(labels, list) \
+                or not all(isinstance(l, str) for l in labels):
+            problems.append(f"{where}.labels must be an array of strings")
+            continue
+        if len(set(labels)) != len(labels):
+            problems.append(f"{where}.labels contains duplicates")
+        n = len(labels)
+        for key in ("observations", "first"):
+            counts = sec.get(key)
+            if not isinstance(counts, list) or len(counts) != n \
+                    or not all(_is_count(c) for c in counts):
+                problems.append(f"{where}.{key} must be {n} non-negative "
+                                "integers (one per label)")
+                counts = None
+            elif users is not None:
+                total = sum(counts)
+                if key == "first" and total != users:
+                    problems.append(
+                        f"{where}.first sums to {total}, expected one "
+                        f"first observation per user ({users})")
+                if key == "observations" and isinstance(iterations, int) \
+                        and total != users * iterations:
+                    problems.append(
+                        f"{where}.observations sums to {total}, expected "
+                        f"users x iterations ({users * iterations})")
+        edges = sec.get("edges")
+        if not isinstance(edges, list) or not all(
+                isinstance(e, list) and len(e) == 2
+                and all(_is_count(i) and i < n for i in e) and e[0] != e[1]
+                for e in edges):
+            problems.append(f"{where}.edges must be pairs of distinct "
+                            "label indices")
+        stab = sec.get("stability")
+        if not isinstance(stab, dict):
+            problems.append(f"{where}.stability must be an object")
+            continue
+        for key in ("users", "raw_fickle_users", "raw_distinct_sum",
+                    "raw_max_distinct_efps", "fickle_users_collapsed",
+                    "collated_stable_users", "collated_max_ids_per_user"):
+            if not _is_count(stab.get(key)):
+                problems.append(f"{where}.stability.{key} must be a "
+                                "non-negative integer")
+        if users is not None and _is_count(stab.get("users")) \
+                and stab["users"] != users:
+            problems.append(f"{where}.stability.users is {stab['users']}, "
+                            f"shard covers {users}")
+
+    combined = payload.get("combined")
+    if not isinstance(combined, dict) \
+            or not isinstance(combined.get("tuples"), list):
+        problems.append("combined.tuples must be an array")
+        return problems
+    widths = [len(vectors[name]["labels"])
+              if isinstance(vectors.get(name), dict)
+              and isinstance(vectors[name].get("labels"), list) else 0
+              for name in declared]
+    total = 0
+    seen_keys = set()
+    for i, entry in enumerate(combined["tuples"]):
+        if not (isinstance(entry, list) and len(entry) == 2
+                and isinstance(entry[0], list)
+                and len(entry[0]) == len(declared)
+                and all(_is_count(v) for v in entry[0])
+                and isinstance(entry[1], int) and entry[1] > 0):
+            problems.append(f"combined.tuples[{i}] must be "
+                            "[[index per vector], positive count]")
+            continue
+        if declared and not all(v < w for v, w in zip(entry[0], widths)):
+            problems.append(f"combined.tuples[{i}] indexes past a "
+                            "vector's label table")
+        key = tuple(entry[0])
+        if key in seen_keys:
+            problems.append(f"combined.tuples[{i}] duplicates key {key}")
+        seen_keys.add(key)
+        total += entry[1]
+    if users is not None and total != users:
+        problems.append(f"combined.tuples counts sum to {total}, "
+                        f"expected one tuple per user ({users})")
+    return problems
+
+
+# -- merging ------------------------------------------------------------------
+
+def _check_same_study(reports: list[dict]) -> dict:
+    study = reports[0]["study"]
+    for report in reports[1:]:
+        theirs = report["study"]
+        for key in ("seed", "user_count", "iterations", "vectors"):
+            if theirs.get(key) != study.get(key):
+                raise ValueError(
+                    f"shard reports mix studies: {key} is "
+                    f"{theirs.get(key)!r} in one report and "
+                    f"{study.get(key)!r} in another")
+        if report.get("engine_version") != reports[0].get("engine_version"):
+            raise ValueError(
+                f"shard reports mix engine versions "
+                f"({report.get('engine_version')!r} vs "
+                f"{reports[0].get('engine_version')!r})")
+    return study
+
+
+def _check_partition(ordered: list[dict], user_count: int) -> None:
+    expect = 0
+    for report in ordered:
+        shard = report["shard"]
+        if shard["start"] != expect:
+            if shard["start"] < expect:
+                raise ValueError(
+                    f"shard reports overlap: [{shard['start']}, "
+                    f"{shard['stop']}) begins before {expect}")
+            raise ValueError(
+                f"shard reports do not form a partition: gap before "
+                f"user {shard['start']} (coverage reached {expect})")
+        expect = shard["stop"]
+    if expect != user_count:
+        raise ValueError(
+            f"shard reports cover [0, {expect}) but the study has "
+            f"{user_count} users")
+
+
+def merge_shard_reports(reports: list[dict]) -> dict:
+    """Merge a full partition of shard reports into THE analysis report.
+
+    The output is byte-identical (through ``dumps_shard_or_merged`` /
+    ``dumps_analysis_report``) to ``build_analysis_report`` over the
+    monolithic dataset, and invariant under the order reports are given
+    in — they are canonically re-sorted by shard start, and every metric
+    is a function of count multisets that sum associatively.
+    """
+    if not reports:
+        raise ValueError("no shard reports to merge")
+    for report in reports:
+        problems = validate_shard_report(report)
+        if problems:
+            raise ValueError("invalid shard report: " + "; ".join(problems))
+    study = _check_same_study(reports)
+    ordered = sorted(reports, key=lambda r: r["shard"]["start"])
+    _check_partition(ordered, study["user_count"])
+
+    vectors = tuple(study["vectors"])
+    sections = {}
+    label_gid: dict[str, dict[str, int]] = {}
+    efp_comp: dict[str, np.ndarray] = {}
+    for name in vectors:
+        gid: dict[str, int] = {}
+        obs_counts: list[int] = []
+        first_counts: list[int] = []
+        edge_set: set[tuple[int, int]] = set()
+        stab_sum = Counter()
+        stab_max = Counter()
+        for report in ordered:
+            sec = report["vectors"][name]
+            local = []
+            for i, label in enumerate(sec["labels"]):
+                g = gid.get(label)
+                if g is None:
+                    g = gid[label] = len(gid)
+                    obs_counts.append(0)
+                    first_counts.append(0)
+                local.append(g)
+                obs_counts[g] += sec["observations"][i]
+                first_counts[g] += sec["first"][i]
+            for a, b in sec["edges"]:
+                ga, gb = local[a], local[b]
+                edge_set.add((ga, gb) if ga < gb else (gb, ga))
+            stab = sec["stability"]
+            for key in ("users", "raw_fickle_users", "raw_distinct_sum",
+                        "fickle_users_collapsed", "collated_stable_users"):
+                stab_sum[key] += stab[key]
+            for key in ("raw_max_distinct_efps",
+                        "collated_max_ids_per_user"):
+                stab_max[key] = max(stab_max[key], stab[key])
+
+        uf = UnionFind(len(gid))
+        if edge_set:
+            uf.union_edges(np.array(sorted(edge_set), dtype=np.int64))
+        roots = uf.roots()
+        if len(gid):
+            _, comp = np.unique(roots, return_inverse=True)
+        else:
+            comp = np.empty(0, dtype=np.int64)
+        comp_counts = Counter()
+        for g, count in enumerate(first_counts):
+            comp_counts[int(comp[g])] += count
+
+        users = stab_sum["users"]
+        fickle = stab_sum["raw_fickle_users"]
+        coll_stable = stab_sum["collated_stable_users"]
+        sections[name] = {
+            "graph": {
+                "efps": len(gid),
+                "edges": len(edge_set),
+                "components": int(comp.max()) + 1 if comp.size else 0,
+            },
+            "raw": {
+                "observations": distribution(
+                    Counter(dict(enumerate(obs_counts)))),
+                "first_observation": distribution(
+                    Counter(dict(enumerate(first_counts)))),
+            },
+            "collated": {"per_user": distribution(comp_counts)},
+            "stability": {
+                "users": users,
+                "raw_stable_users": users - fickle,
+                "raw_fickle_users": fickle,
+                "raw_stable_fraction": _round(
+                    (users - fickle) / users if users else 0.0),
+                "raw_mean_distinct_efps": _round(
+                    stab_sum["raw_distinct_sum"] / users if users else 0.0),
+                "raw_max_distinct_efps": stab_max["raw_max_distinct_efps"],
+                "fickle_users_collapsed": stab_sum["fickle_users_collapsed"],
+                "collated_stable_users": coll_stable,
+                "collated_stable_fraction": _round(
+                    coll_stable / users if users else 0.0),
+                "collated_max_ids_per_user":
+                    stab_max["collated_max_ids_per_user"],
+            },
+        }
+        label_gid[name] = gid
+        efp_comp[name] = comp
+
+    raw_tuples = Counter()
+    coll_tuples = Counter()
+    for report in ordered:
+        label_lists = [report["vectors"][name]["labels"] for name in vectors]
+        for idxs, count in report["combined"]["tuples"]:
+            key = tuple(label_lists[v][i] for v, i in enumerate(idxs))
+            raw_tuples[key] += count
+            coll_key = tuple(
+                int(efp_comp[name][label_gid[name][label]])
+                for name, label in zip(vectors, key))
+            coll_tuples[coll_key] += count
+
+    return {
+        "kind": ANALYSIS_KIND,
+        "format": ANALYSIS_FORMAT,
+        "dataset": {
+            "seed": study["seed"],
+            "user_count": study["user_count"],
+            "iterations": study["iterations"],
+            "vectors": list(vectors),
+        },
+        "vectors": sections,
+        "combined": {
+            "vectors": list(vectors),
+            "raw_first_observation": distribution(raw_tuples),
+            "collated": distribution(coll_tuples),
+        },
+    }
+
+
+# -- human-readable rendering -------------------------------------------------
+
+def render_shard_report(payload: dict) -> str:
+    """Render a shard report as a compact summary table."""
+    from ..obs.report import _table  # deferred, mirrors report.py
+
+    shard = payload.get("shard", {})
+    study = payload.get("study", {})
+    out = ["== shard report =="]
+    out.append(f"shard: [{shard.get('start')}, {shard.get('stop')}) "
+               f"({shard.get('users')} users) of study "
+               + ", ".join(f"{k}={v}" for k, v in study.items()
+                           if k != "vectors"))
+    rows = []
+    for name, sec in payload.get("vectors", {}).items():
+        stab = sec["stability"]
+        rows.append([name, str(len(sec["labels"])), str(len(sec["edges"])),
+                     str(stab["users"]), str(stab["raw_fickle_users"]),
+                     str(stab["collated_stable_users"])])
+    out.append("")
+    out.append(_table(["vector", "efps", "edges", "users", "fickle",
+                       "coll_stable"], rows))
+    out.append(f"combined tuples: "
+               f"{len(payload.get('combined', {}).get('tuples', []))}")
+    out.append("")
+    return "\n".join(out)

@@ -47,6 +47,39 @@ def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> None:
         raise
 
 
+def atomic_write_chunks(path: str, chunks, encoding: str = "utf-8") -> None:
+    """Atomically replace ``path`` with the concatenation of ``chunks``.
+
+    Same crash-safety contract as ``atomic_write_text`` — readers observe
+    the complete old file or the complete new one — but the content
+    arrives as an iterable of string chunks written straight to the temp
+    file, so the full document never has to exist in memory. This is how
+    large streamed artefacts (study datasets, shard record files) keep
+    their peak RSS at one-record size instead of one-file size.
+    """
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        try:
+            fh = os.fdopen(fd, "w", encoding=encoding)
+        except BaseException:
+            os.close(fd)  # fdopen never took ownership of the descriptor
+            raise
+        with fh:
+            for chunk in chunks:
+                fh.write(chunk)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def atomic_write_json(path: str, payload, *, indent: int | None = None,
                       sort_keys: bool = False) -> None:
     """Atomically write ``payload`` as JSON (newline-terminated).

@@ -71,6 +71,8 @@ EVENT_KINDS = frozenset({
     "pool.rebuild", "pool.inline_fallback",
     # render workers (shipped across the pool boundary)
     "render.batch", "render.class",
+    # sharded studies
+    "shard.start", "shard.end", "shard.resume", "shard.quarantine",
 })
 
 #: reserved top-level record fields a payload may not shadow

@@ -42,6 +42,7 @@ BASELINES = {
     "bench_collation": "BENCH_collation.json",
     "bench_obs_overhead": "BENCH_obs_overhead.json",
     "resilience": "BENCH_resilience.json",
+    "bench_shard_scale": "BENCH_shard_scale.json",
 }
 
 #: watched metrics: benchmark -> [(dotted path, direction, rel tolerance)]
@@ -65,6 +66,15 @@ SPECS = {
     "resilience": [
         ("runs.checkpoint.overhead_vs_clean", "lower", 0.50),
         ("runs.chaos.overhead_vs_clean", "lower", 1.50),
+    ],
+    # absolute RSS, wall times, and the sharded-vs-monolithic footprint
+    # ratio are machine- or scale-dependent (the monolithic footprint
+    # grows with user count); only the sustained throughput and the
+    # dimensionless RSS growth rate are watched
+    "bench_shard_scale": [
+        ("gates.renders_per_s", "higher", 0.60),
+        ("gates.sharded_vs_monolithic_throughput", "higher", 0.50),
+        ("gates.rss_growth_per_user_growth", "lower", 1.00),
     ],
 }
 

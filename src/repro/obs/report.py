@@ -431,6 +431,23 @@ def main(argv: list[str] | None = None) -> int:
                 sys.stderr.close()
         return 0
 
+    if isinstance(payload, dict) \
+            and payload.get("kind") == "repro.analysis.shard_report":
+        from ..analysis.shards import (render_shard_report,
+                                       validate_shard_report)
+        problems = validate_shard_report(payload)
+        if problems:
+            print(f"error: {args.path} failed schema check:", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 2
+        if not args.check:
+            try:
+                print(render_shard_report(payload))
+            except BrokenPipeError:  # e.g. piped into `head`
+                sys.stderr.close()
+        return 0
+
     problems = validate_report(payload,
                                base_dir=os.path.dirname(os.path.abspath(args.path)))
     if problems:

@@ -1,9 +1,14 @@
 """repro.population — the synthetic user study."""
 
 from .device import Device  # noqa: F401
-from .sampler import sample_population  # noqa: F401
+from .sampler import sample_population, sample_population_slice  # noqa: F401
 from .cache import RenderCache  # noqa: F401
 from .dataset import StudyDataset  # noqa: F401
 from .study import run_study  # noqa: F401
+from .shards import (ShardIntegrityError, ShardedStudy,  # noqa: F401
+                     run_study_sharded, shard_ranges)
 
-__all__ = ["Device", "sample_population", "RenderCache", "StudyDataset", "run_study"]
+__all__ = ["Device", "sample_population", "sample_population_slice",
+           "RenderCache", "StudyDataset", "run_study",
+           "ShardIntegrityError", "ShardedStudy", "run_study_sharded",
+           "shard_ranges"]

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..io import atomic_write_json
+from ..io import atomic_write_chunks
 
 
 @dataclass
@@ -157,9 +157,34 @@ class StudyDataset:
             series=series,
         )
 
+    def _dump_chunks(self):
+        """Stream the ``to_dict()`` JSON encoding chunk by chunk.
+
+        Byte-identical to ``json.dumps(self.to_dict()) + "\\n"`` (pinned
+        by tests), but the peak working set is one user's series instead
+        of the whole document — ``save`` stays flat in memory no matter
+        how many users the dataset holds.
+        """
+        meta = {"seed": self.seed, "user_count": self.user_count,
+                "iterations": self.iterations, "vectors": list(self.vectors)}
+        yield '{"meta": ' + json.dumps(meta) + ', "users": ['
+        for i, user in enumerate(self.users):
+            yield (", " if i else "") + json.dumps(user)
+        yield '], "series": {'
+        for v, vector in enumerate(self.series):
+            yield (", " if v else "") + json.dumps(vector) + ": {"
+            per_user = self.series[vector]
+            for u, uid in enumerate(per_user):
+                yield (", " if u else "") + json.dumps(uid) + ": " \
+                    + json.dumps(per_user[uid])
+            yield "}"
+        yield "}}\n"
+
     def save(self, path: str) -> None:
-        """Crash-safely write the dataset (shared atomic JSON writer)."""
-        atomic_write_json(path, self.to_dict())
+        """Crash-safely write the dataset, streaming one user at a time
+        through the shared atomic chunk writer (same bytes as a
+        whole-document dump, without ever materializing it)."""
+        atomic_write_chunks(path, self._dump_chunks())
 
     @classmethod
     def load(cls, path: str) -> "StudyDataset":

@@ -4,6 +4,16 @@ Devices are drawn from the calibrated stack pool with a Zipf-style skew
 layered on the pool's base weights, so a handful of stacks dominate (the
 Windows/Chromium collapse) while a long tail supplies the diversity the
 paper measures. Fully deterministic given the seed.
+
+Every user owns an independent rng stream seeded by ``(seed, stream,
+user_index)`` — the same construction the study driver uses for jitter
+paths — so the population is *sliceable*: ``sample_population_slice``
+produces exactly the devices a full draw would assign to that index
+range, in O(slice) work, without replaying any other user's draws. That
+is what lets a sharded study sample only its own users yet stay
+bit-identical to the monolithic run (and what makes device identity
+independent of the total population size: growing the study never
+reshuffles existing users).
 """
 from __future__ import annotations
 
@@ -16,19 +26,43 @@ from .device import Device
 _SAMPLER_STREAM = 0x5AD  # keeps the sampler's draws disjoint from the study's
 
 
-def sample_population(user_count: int, seed: int = 2021) -> list[Device]:
-    if user_count <= 0:
-        raise ValueError("user_count must be positive")
-    rng = np.random.default_rng(np.random.SeedSequence([seed, _SAMPLER_STREAM]))
+def _pool_cdf():
+    """The stack pool plus its skewed pick CDF (computed once per call
+    site, shared by every user in the slice)."""
     pool = default_stack_pool()
     base = np.array([w for (_, _, _, w) in pool], dtype=np.float64)
     zipf = 1.0 / np.power(np.arange(1, len(pool) + 1, dtype=np.float64), 0.35)
     weights = base * zipf
     weights /= weights.sum()
+    return pool, np.cumsum(weights)
 
-    picks = rng.choice(len(pool), size=user_count, p=weights)
+
+def _device_rng(seed: int, index: int) -> np.random.Generator:
+    return np.random.default_rng(
+        np.random.SeedSequence([seed, _SAMPLER_STREAM, index]))
+
+
+def sample_population_slice(user_count: int, seed: int, start: int,
+                            stop: int) -> list[Device]:
+    """Sample users ``[start, stop)`` of a ``user_count``-user population.
+
+    Bit-identical to ``sample_population(user_count, seed)[start:stop]``
+    at O(stop - start) cost: each user's draws come from their own
+    index-seeded stream, so no other user's stream is consumed.
+    """
+    if not isinstance(user_count, int) or isinstance(user_count, bool) \
+            or user_count <= 0:
+        raise ValueError(f"user_count must be a positive integer, "
+                         f"got {user_count!r}")
+    if not 0 <= start < stop <= user_count:
+        raise ValueError(f"slice [{start}, {stop}) is not a non-empty "
+                         f"sub-range of [0, {user_count})")
+    pool, cdf = _pool_cdf()
     devices = []
-    for i, pick in enumerate(picks):
+    for i in range(start, stop):
+        rng = _device_rng(seed, i)
+        pick = min(int(np.searchsorted(cdf, rng.random(), side="right")),
+                   len(pool) - 1)
         stack, os_name, browser, _ = pool[pick]
         devices.append(Device(
             user_id=f"u{i:05d}",
@@ -38,3 +72,7 @@ def sample_population(user_count: int, seed: int = 2021) -> list[Device]:
             load=sample_load(rng),
         ))
     return devices
+
+
+def sample_population(user_count: int, seed: int = 2021) -> list[Device]:
+    return sample_population_slice(user_count, seed, 0, user_count)

@@ -331,16 +331,19 @@ def _absorb_batch_metrics(recorder, metrics: dict) -> None:
 
 
 def _plan(devices: list[Device], vectors: tuple[str, ...], iterations: int,
-          seed: int):
+          seed: int, first_index: int = 0):
     """Pre-draw all jitter paths; return per-item keys and the class table.
 
     Analyser-free vectors draw nothing from the rng, so adding/removing
-    them never shifts another vector's jitter stream.
+    them never shifts another vector's jitter stream. ``first_index`` is
+    the global population index of ``devices[0]`` — per-user jitter
+    streams are seeded by global index, so planning a shard of the
+    population draws exactly the paths the monolithic plan would.
     """
     item_keys: dict[tuple[str, str], list[str]] = {}   # (vector, user_id) -> keys
     classes: dict[str, tuple[str, AudioStack, str]] = {}
-    for index, device in enumerate(devices):
-        rng = _user_rng(seed, index)
+    for offset, device in enumerate(devices):
+        rng = _user_rng(seed, first_index + offset)
         stack_key = device.stack.cache_key()
         repertoire = sample_repertoire(rng, device.load)
         for vector_name in vectors:
@@ -357,6 +360,189 @@ def _plan(devices: list[Device], vectors: tuple[str, ...], iterations: int,
                     classes[key] = (vector_name, device.stack, path)
             item_keys[(vector_name, device.user_id)] = keys
     return item_keys, classes
+
+
+def _validate_study_args(user_count, iterations, vectors, workers,
+                         checkpoint_every) -> None:
+    """The shared front-door argument checks (``run_study`` and
+    ``run_study_sharded`` reject the same bad inputs the same way)."""
+    if not isinstance(user_count, int) or isinstance(user_count, bool) \
+            or user_count <= 0:
+        raise ValueError(f"user_count must be a positive integer, "
+                         f"got {user_count!r}")
+    if iterations <= 0:
+        raise ValueError(f"iterations must be positive, got {iterations}")
+    if not vectors:
+        raise ValueError("vectors must be non-empty")
+    if workers is not None and workers < 0:
+        raise ValueError(f"workers must be >= 0 (or None for auto), "
+                         f"got {workers}")
+    if checkpoint_every <= 0:
+        raise ValueError(f"checkpoint_every must be positive, "
+                         f"got {checkpoint_every}")
+    for name in vectors:
+        get_vector(name)  # fail fast on unknown vectors
+
+
+def _resolve_workers(workers: int | None) -> tuple[int, int | None, int]:
+    """Resolve the ``workers`` knob to an effective pool size.
+
+    Returns ``(workers, requested, cpu)``: None = auto (cpu count capped
+    at 8); explicit counts above the core count are clamped to it, never
+    below 2 — an explicit pool request stays a pool even on a 1-core box.
+    """
+    cpu = os.cpu_count() or 1
+    requested = workers
+    if workers is None:
+        workers = min(cpu, 8)
+    elif workers > max(cpu, 2):
+        # Oversubscribing a small machine cannot win: more processes than
+        # cores adds context-switch and serialization overhead (the
+        # committed worker sweep measures exactly this). Explicit requests
+        # are trimmed to the core count — but never below 2, so an
+        # explicit >= 2 request keeps pool semantics (supervision, crash
+        # isolation) even on a 1-core box. Results are worker-count
+        # invariant (pinned), so only wall time changes.
+        workers = max(cpu, 2)
+    return workers, requested, cpu
+
+
+def _load_resume(checkpoint_path, fingerprint, classes, recorder,
+                 checkpoint_info) -> dict[str, str]:
+    """Load a checkpoint and keep only the classes this plan wants."""
+    resumed: dict[str, str] = {}
+    if checkpoint_path is None:
+        return resumed
+    loaded, problem = load_checkpoint(checkpoint_path, fingerprint)
+    if problem is not None:
+        checkpoint_info["corrupt_recoveries"] += 1
+        recorder.count("checkpoint.corrupt")
+        recorder.event("checkpoint.corrupt_quarantine", problem=problem)
+    # only classes this study actually plans can be resumed; an
+    # ENGINE_VERSION bump changes every stack key, so stale
+    # checkpoints resume nothing (and re-render everything)
+    resumed = {key: efp for key, efp in loaded.items() if key in classes}
+    if resumed:
+        checkpoint_info["resumed_classes"] = len(resumed)
+        recorder.count("checkpoint.resumed_classes", len(resumed))
+        recorder.event("checkpoint.resume", classes=len(resumed))
+    return resumed
+
+
+def _keyed_to_render(cache, item_keys, classes, resumed, recorder):
+    """The classes still needing a render, as ``(key, class)`` pairs.
+
+    With the cache disabled this degrades to the honest baseline: one
+    real render per grid item, charged through the miss-counter API so
+    benchmark speedups isolate the cache.
+    """
+    if cache.disabled:
+        keyed = [(key, classes[key])
+                 for keys in item_keys.values() for key in keys
+                 if key not in resumed]
+        cache.record_miss(len(keyed))
+        return keyed
+    with recorder.span("probe"):
+        return [(key, classes[key]) for key in classes
+                if key not in resumed and cache.get(key) is None]
+
+
+def _render_classes(keyed, *, batched, measuring, recorder, cache, seed,
+                    workers, requested_workers, fingerprint,
+                    checkpoint_path, checkpoint_every, checkpoint_info,
+                    retry_policy, retry_budget, progress, resumed):
+    """Render ``keyed`` classes under supervision; the render-phase core
+    shared by ``run_study`` and the sharded driver.
+
+    Returns ``(rendered, supervisor, jobs_count, pooled)`` where
+    ``rendered`` maps class key -> eFP (resumed classes included) and the
+    supervisor carries the resilience summary. Completed renders are
+    pushed into the cache before returning.
+    """
+    if batched:
+        jobs = _group_jobs(keyed, measuring)
+        threshold = _POOL_GROUP_THRESHOLD
+        worker, absorb = _render_group, _absorb_batch_metrics
+        splitter, validator, keys_of = (_split_group_job,
+                                        _validate_group_result,
+                                        _group_job_keys)
+    else:
+        jobs = _make_jobs(keyed, measuring)
+        threshold = _POOL_THRESHOLD
+        worker, absorb = _render_class, _absorb_metrics
+        splitter, validator, keys_of = (None, _validate_class_result,
+                                        _class_job_keys)
+    pooled = bool(workers and workers > 1 and len(jobs) >= threshold)
+    if requested_workers is not None and workers < requested_workers:
+        recorder.count("pool.workers_clamped", requested_workers - workers)
+    if not pooled and len(jobs) >= threshold and workers <= 1 \
+            and (requested_workers is None or requested_workers > 1):
+        # enough jobs to pool, but fan-out cannot win on this machine
+        recorder.count("pool.fanout_skipped")
+    budget = None if retry_budget is None else RetryBudget(retry_budget)
+    supervisor = SupervisedExecutor(
+        worker, workers=workers if pooled else 0,
+        policy=retry_policy, budget=budget, recorder=recorder,
+        seed=seed, splitter=splitter, validator=validator,
+        keys_of=keys_of)
+
+    meter = None
+    if progress:
+        stream = progress if hasattr(progress, "write") else None
+        meter = ProgressMeter(total_jobs=len(jobs),
+                              total_classes=len(keyed), stream=stream)
+
+    rendered: dict[str, str] = dict(resumed)
+    completed_jobs = 0
+
+    def _checkpoint() -> None:
+        if write_checkpoint(checkpoint_path, fingerprint, rendered,
+                            completed_jobs):
+            checkpoint_info["writes"] += 1
+            recorder.count("checkpoint.writes")
+            recorder.event("checkpoint.write", completed_jobs=completed_jobs)
+        else:
+            checkpoint_info["torn_writes"] += 1
+            recorder.count("checkpoint.torn_writes")
+            recorder.event("checkpoint.torn_write",
+                           completed_jobs=completed_jobs)
+
+    try:
+        for result in supervisor.run(jobs):
+            if batched:
+                pairs, metrics = result
+                for key, efp in pairs:
+                    rendered[key] = efp
+            else:
+                key, efp, metrics = result
+                rendered[key] = efp
+            if metrics is not None:
+                absorb(recorder, metrics)
+            completed_jobs += 1
+            if checkpoint_path is not None \
+                    and completed_jobs % checkpoint_every == 0:
+                _checkpoint()
+            if meter is not None:
+                meter.update(completed_jobs,
+                             len(rendered) - len(resumed),
+                             retries=supervisor.retries,
+                             hit_rate=cache.hit_rate)
+    except StudyExecutionError:
+        # persist everything that DID render before surfacing the
+        # failure: a later run with the stack fixed resumes from here
+        if checkpoint_path is not None:
+            _checkpoint()
+        raise
+    if checkpoint_path is not None:
+        _checkpoint()
+    if meter is not None:
+        meter.finish(len(rendered) - len(resumed),
+                     retries=supervisor.retries,
+                     hit_rate=cache.hit_rate)
+    if not cache.disabled:
+        for key, efp in rendered.items():
+            cache.put(key, efp)
+    return rendered, supervisor, len(jobs), pooled
 
 
 def run_study(user_count: int, iterations: int = 30,
@@ -410,22 +596,8 @@ def run_study(user_count: int, iterations: int = 30,
     batching, observability, checkpoint resume, or any fault recovery
     that succeeds.
     """
-    if not isinstance(user_count, int) or isinstance(user_count, bool) \
-            or user_count <= 0:
-        raise ValueError(f"user_count must be a positive integer, "
-                         f"got {user_count!r}")
-    if iterations <= 0:
-        raise ValueError(f"iterations must be positive, got {iterations}")
-    if not vectors:
-        raise ValueError("vectors must be non-empty")
-    if workers is not None and workers < 0:
-        raise ValueError(f"workers must be >= 0 (or None for auto), "
-                         f"got {workers}")
-    if checkpoint_every <= 0:
-        raise ValueError(f"checkpoint_every must be positive, "
-                         f"got {checkpoint_every}")
-    for name in vectors:
-        get_vector(name)  # fail fast on unknown vectors
+    _validate_study_args(user_count, iterations, vectors, workers,
+                         checkpoint_every)
     if recorder is None:
         recorder = Recorder() if (report_path is not None
                                   or event_log_path is not None) \
@@ -457,19 +629,7 @@ def _run_study(user_count, iterations, vectors, seed, cache, workers,
                progress) -> StudyDataset:
     """The study body; ``run_study`` owns argument validation and the
     telemetry attach/detach lifecycle around it."""
-    cpu = os.cpu_count() or 1
-    requested_workers = workers
-    if workers is None:
-        workers = min(cpu, 8)
-    elif workers > max(cpu, 2):
-        # Oversubscribing a small machine cannot win: more processes than
-        # cores adds context-switch and serialization overhead (the
-        # committed worker sweep measures exactly this). Explicit requests
-        # are trimmed to the core count — but never below 2, so an
-        # explicit >= 2 request keeps pool semantics (supervision, crash
-        # isolation) even on a 1-core box. Results are worker-count
-        # invariant (pinned), so only wall time changes.
-        workers = max(cpu, 2)
+    workers, requested_workers, cpu = _resolve_workers(workers)
 
     recorder.event("study.start", users=user_count, iterations=iterations,
                    vectors=list(vectors), seed=seed, batched=batched,
@@ -493,121 +653,17 @@ def _run_study(user_count, iterations, vectors, seed, cache, workers,
 
     recorder.event("phase.start", phase="render")
     with recorder.span("render") as render_span:
-        resumed: dict[str, str] = {}
-        if checkpoint_path is not None:
-            loaded, problem = load_checkpoint(checkpoint_path, fingerprint)
-            if problem is not None:
-                checkpoint_info["corrupt_recoveries"] += 1
-                recorder.count("checkpoint.corrupt")
-                recorder.event("checkpoint.corrupt_quarantine",
-                               problem=problem)
-            # only classes this study actually plans can be resumed; an
-            # ENGINE_VERSION bump changes every stack key, so stale
-            # checkpoints resume nothing (and re-render everything)
-            resumed = {key: efp for key, efp in loaded.items()
-                       if key in classes}
-            if resumed:
-                checkpoint_info["resumed_classes"] = len(resumed)
-                recorder.count("checkpoint.resumed_classes", len(resumed))
-                recorder.event("checkpoint.resume", classes=len(resumed))
-
-        if cache.disabled:
-            # honest baseline: one real render per grid item, same pool
-            # config as the cached path so benchmark speedups isolate the
-            # cache; renders are charged through the miss-counter API
-            keyed = [(key, classes[key])
-                     for keys in item_keys.values() for key in keys
-                     if key not in resumed]
-            cache.record_miss(len(keyed))
-        else:
-            with recorder.span("probe"):
-                keyed = [(key, classes[key]) for key in classes
-                         if key not in resumed and cache.get(key) is None]
-        if batched:
-            jobs = _group_jobs(keyed, measuring)
-            threshold = _POOL_GROUP_THRESHOLD
-            worker, absorb = _render_group, _absorb_batch_metrics
-            splitter, validator, keys_of = (_split_group_job,
-                                            _validate_group_result,
-                                            _group_job_keys)
-        else:
-            jobs = _make_jobs(keyed, measuring)
-            threshold = _POOL_THRESHOLD
-            worker, absorb = _render_class, _absorb_metrics
-            splitter, validator, keys_of = (None, _validate_class_result,
-                                            _class_job_keys)
-        pooled = bool(workers and workers > 1 and len(jobs) >= threshold)
-        if requested_workers is not None and workers < requested_workers:
-            recorder.count("pool.workers_clamped",
-                           requested_workers - workers)
-        if not pooled and len(jobs) >= threshold and workers <= 1 \
-                and (requested_workers is None or requested_workers > 1):
-            # enough jobs to pool, but fan-out cannot win on this machine
-            recorder.count("pool.fanout_skipped")
-        budget = None if retry_budget is None else RetryBudget(retry_budget)
-        supervisor = SupervisedExecutor(
-            worker, workers=workers if pooled else 0,
-            policy=retry_policy, budget=budget, recorder=recorder,
-            seed=seed, splitter=splitter, validator=validator,
-            keys_of=keys_of)
-
-        meter = None
-        if progress:
-            stream = progress if hasattr(progress, "write") else None
-            meter = ProgressMeter(total_jobs=len(jobs),
-                                  total_classes=len(keyed), stream=stream)
-
-        rendered: dict[str, str] = dict(resumed)
-        completed_jobs = 0
-
-        def _checkpoint() -> None:
-            if write_checkpoint(checkpoint_path, fingerprint, rendered,
-                                completed_jobs):
-                checkpoint_info["writes"] += 1
-                recorder.count("checkpoint.writes")
-                recorder.event("checkpoint.write",
-                               completed_jobs=completed_jobs)
-            else:
-                checkpoint_info["torn_writes"] += 1
-                recorder.count("checkpoint.torn_writes")
-                recorder.event("checkpoint.torn_write",
-                               completed_jobs=completed_jobs)
-
-        try:
-            for result in supervisor.run(jobs):
-                if batched:
-                    pairs, metrics = result
-                    for key, efp in pairs:
-                        rendered[key] = efp
-                else:
-                    key, efp, metrics = result
-                    rendered[key] = efp
-                if metrics is not None:
-                    absorb(recorder, metrics)
-                completed_jobs += 1
-                if checkpoint_path is not None \
-                        and completed_jobs % checkpoint_every == 0:
-                    _checkpoint()
-                if meter is not None:
-                    meter.update(completed_jobs,
-                                 len(rendered) - len(resumed),
-                                 retries=supervisor.retries,
-                                 hit_rate=cache.hit_rate)
-        except StudyExecutionError:
-            # persist everything that DID render before surfacing the
-            # failure: a later run with the stack fixed resumes from here
-            if checkpoint_path is not None:
-                _checkpoint()
-            raise
-        if checkpoint_path is not None:
-            _checkpoint()
-        if meter is not None:
-            meter.finish(len(rendered) - len(resumed),
-                         retries=supervisor.retries,
-                         hit_rate=cache.hit_rate)
-        if not cache.disabled:
-            for key, efp in rendered.items():
-                cache.put(key, efp)
+        resumed = _load_resume(checkpoint_path, fingerprint, classes,
+                               recorder, checkpoint_info)
+        keyed = _keyed_to_render(cache, item_keys, classes, resumed, recorder)
+        rendered, supervisor, job_count, pooled = _render_classes(
+            keyed, batched=batched, measuring=measuring, recorder=recorder,
+            cache=cache, seed=seed, workers=workers,
+            requested_workers=requested_workers, fingerprint=fingerprint,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            checkpoint_info=checkpoint_info, retry_policy=retry_policy,
+            retry_budget=retry_budget, progress=progress, resumed=resumed)
         lookup = rendered.__getitem__ if cache.disabled else cache.get
     recorder.event("phase.end", phase="render")
 
@@ -615,12 +671,12 @@ def _run_study(user_count, iterations, vectors, seed, cache, workers,
     resilience_info["checkpoint"] = checkpoint_info
 
     if measuring:
-        recorder.count("pool.jobs", len(jobs))
+        recorder.count("pool.jobs", job_count)
         busy = recorder.histograms.get("pool.task_wall_s")
         busy_s = busy.total if busy else 0.0
         lanes = workers if pooled else 1
         pool_info = {
-            "workers": workers, "pooled": pooled, "jobs": len(jobs),
+            "workers": workers, "pooled": pooled, "jobs": job_count,
             "requested": (requested_workers if requested_workers is not None
                           else workers),
             "cpu_count": cpu,

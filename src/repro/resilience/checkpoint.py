@@ -85,7 +85,11 @@ def load_checkpoint(path: str, study: dict) -> tuple[dict[str, str], str | None]
         return {}, "malformed checkpoint structure"
 
     theirs = payload["study"]
-    for field in ("seed", "user_count", "iterations", "vectors"):
+    # compare every field the expected fingerprint carries: the base
+    # study identity, plus any extra scoping a caller stamped in (the
+    # sharded driver adds a "shard" range so one shard's checkpoint can
+    # never resume another's)
+    for field in study:
         if theirs.get(field) != study[field]:
             raise ValueError(
                 f"checkpoint at {path} belongs to a different study: "
