@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Tables 2–5 pipeline benchmark: the full fingerprint battery (7 audio
+vectors + 4 comparators) rendered through the study driver, then the
+comparison analysis (``repro.analysis.tables``) timed and acceptance-
+gated on the paper's qualitative invariants.
+
+Measures:
+
+  render   full-battery study wall clock (equivalence-class cached)
+  tables   tables-report build wall clock and users/s throughput
+
+and verifies the acceptance properties:
+
+  - determinism: two table builds serialize byte-identically and the
+    report passes its own schema check;
+  - Table 2/3 shape: every audio vector's entropy sits far below the
+    canvas/fonts/useragent comparators (ratio gate);
+  - additive value: pairing audio with each comparator adds entropy,
+    in the paper's ~+10% relative regime for the high-entropy bases;
+  - match scores: >= the floor once training sees two iterations;
+  - Table 4/5: the math library explains only part of the DC signal,
+    overall and per platform.
+
+The committed JSON is a regression-sentinel baseline: the watched gates
+are dimensionless ratios/scores (scale-robust), plus the tables
+throughput.
+
+Usage: PYTHONPATH=src python benchmarks/bench_tables.py [--users N]
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro import RenderCache, run_study  # noqa: E402
+from repro.analysis.tables import (build_tables_report,  # noqa: E402
+                                   dumps_tables_report,
+                                   validate_tables_report)
+from repro.vectors import FULL_BATTERY  # noqa: E402
+
+#: acceptance floors/gates (checked against the fresh run itself)
+MIN_COMPARATOR_OVER_AUDIO = 2.0   # canvas/fonts/ua H vs best audio H
+MIN_MATCH_SCORE_S2 = 0.95         # revisit linkage once s >= 2
+MIN_ADDITIVE_DELTA_PCT = 2.0      # audio must add measurable entropy
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--users", type=int, default=2093)
+    parser.add_argument("--iterations", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument("--out",
+                        default=os.path.join(_HERE, "BENCH_tables.json"))
+    args = parser.parse_args()
+
+    grid_items = args.users * args.iterations * len(FULL_BATTERY)
+    print(f"workload: {args.users} users x {args.iterations} iterations "
+          f"x {len(FULL_BATTERY)} vectors = {grid_items} grid items")
+
+    t0 = time.perf_counter()
+    dataset = run_study(user_count=args.users, iterations=args.iterations,
+                        vectors=FULL_BATTERY, seed=args.seed,
+                        cache=RenderCache())
+    render_wall = time.perf_counter() - t0
+    print(f"render:  {render_wall:8.2f}s (full battery, cached study)")
+
+    t0 = time.perf_counter()
+    report = build_tables_report(dataset)
+    tables_wall = time.perf_counter() - t0
+    first_bytes = dumps_tables_report(report)
+    second_bytes = dumps_tables_report(build_tables_report(dataset))
+    byte_identical = first_bytes == second_bytes
+    users_per_s = args.users / tables_wall if tables_wall > 0 else 0.0
+    print(f"tables:  {tables_wall:8.4f}s ({users_per_s:,.0f} users/s, "
+          f"{len(first_bytes)} bytes, byte_identical={byte_identical})")
+
+    problems = validate_tables_report(report)
+
+    audio = report["table2_audio"]["vectors"]
+    comp = report["table3_comparators"]["vectors"]
+    max_audio_bits = max(v["entropy_bits"] for v in audio.values())
+    min_comp_bits = min(comp[name]["entropy_bits"]
+                        for name in ("canvas", "fonts", "useragent"))
+    comparator_over_audio = (min_comp_bits / max_audio_bits
+                             if max_audio_bits > 0 else 0.0)
+
+    pairs = {p["base"]: p for p in report["additive_value"]["pairs"]}
+    additive_min = min(pairs[b]["delta_pct"]
+                       for b in ("canvas", "fonts", "useragent"))
+    scores = report["match_scores"]["scores"]
+    match_min_s2 = min(v for per_split in scores.values()
+                       for s, v in per_split.items() if int(s) >= 2)
+    table4 = report["table4_mathjs"]
+    table5_ok = all(row["dc_distinct"] >= row["mathjs_distinct"]
+                    for row in report["table5_platforms"])
+
+    print(f"gates:   comparator/audio H ratio {comparator_over_audio:.2f}, "
+          f"additive min {additive_min:+.2f}%, "
+          f"match(s>=2) min {match_min_s2:.4f}, "
+          f"dc/mathjs H {table4['dc_over_mathjs_entropy']:.2f}")
+
+    result = {
+        "benchmark": "bench_tables",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "workload": {
+            "users": args.users,
+            "iterations": args.iterations,
+            "vectors": list(FULL_BATTERY),
+            "grid_items": grid_items,
+        },
+        "render_wall_s": round(render_wall, 4),
+        "tables": {
+            "wall_s": round(tables_wall, 6),
+            "users_per_s": round(users_per_s, 1),
+            "report_bytes": len(first_bytes),
+        },
+        "gates": {
+            "comparator_over_audio_entropy": round(comparator_over_audio, 4),
+            "additive_min_delta_pct": round(additive_min, 4),
+            "additive_canvas_delta_pct": round(
+                pairs["canvas"]["delta_pct"], 4),
+            "additive_useragent_delta_pct": round(
+                pairs["useragent"]["delta_pct"], 4),
+            "match_score_min_s2": round(match_min_s2, 6),
+            "dc_over_mathjs_entropy": table4["dc_over_mathjs_entropy"],
+        },
+        "entropy": {
+            "audio_max_bits": max_audio_bits,
+            "comparator_min_bits": min_comp_bits,
+            "combined_all_bits":
+                report["combined_all"]["entropy_bits"],
+        },
+        "table5_dc_ge_mathjs_everywhere": table5_ok,
+        "report_byte_identical": byte_identical,
+        "schema_problems": problems,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    print(f"-> {args.out}")
+
+    failures = []
+    if problems:
+        failures.append(f"tables report failed schema check: {problems[:3]}")
+    if not byte_identical:
+        failures.append("tables report is not byte-deterministic")
+    if comparator_over_audio < MIN_COMPARATOR_OVER_AUDIO:
+        failures.append(
+            f"comparator/audio entropy ratio {comparator_over_audio:.2f} "
+            f"< {MIN_COMPARATOR_OVER_AUDIO} (Table 2/3 shape lost)")
+    if additive_min < MIN_ADDITIVE_DELTA_PCT:
+        failures.append(f"additive value {additive_min:+.2f}% "
+                        f"< +{MIN_ADDITIVE_DELTA_PCT}% floor")
+    if match_min_s2 < MIN_MATCH_SCORE_S2:
+        failures.append(f"match score (s>=2) {match_min_s2:.4f} "
+                        f"< {MIN_MATCH_SCORE_S2} floor")
+    if table4["dc_over_mathjs_entropy"] is None \
+            or table4["dc_over_mathjs_entropy"] <= 1.0:
+        failures.append("math library explains all of DC "
+                        "(Table 4 attribution lost)")
+    if not table5_ok:
+        failures.append("a platform shows more mathjs than DC diversity "
+                        "(Table 5 inverted)")
+    if failures:
+        print("ACCEPTANCE FAILED: " + "; ".join(failures))
+        return 1
+    print("acceptance: deterministic, Table 2-5 invariants hold  [ok]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,10 @@ from .shards import (SHARD_REPORT_FORMAT, SHARD_REPORT_KIND,  # noqa: F401
                      build_shard_report, dumps_shard_or_merged,
                      merge_shard_reports, render_shard_report,
                      validate_shard_report)
+from .tables import (MATCH_SPLITS, TABLES_FORMAT, TABLES_KIND,  # noqa: F401
+                     build_tables_report, classify_vectors,
+                     dumps_tables_report, match_score,
+                     render_tables_report, validate_tables_report)
 
 __all__ = [
     "UnionFind", "VectorCollation", "collate", "collate_vector",
@@ -38,4 +42,7 @@ __all__ = [
     "SHARD_REPORT_FORMAT", "SHARD_REPORT_KIND", "build_shard_report",
     "dumps_shard_or_merged", "merge_shard_reports", "render_shard_report",
     "validate_shard_report",
+    "MATCH_SPLITS", "TABLES_FORMAT", "TABLES_KIND", "build_tables_report",
+    "classify_vectors", "dumps_tables_report", "match_score",
+    "render_tables_report", "validate_tables_report",
 ]

@@ -136,6 +136,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--merge", action="store_true",
                         help="merge shard reports covering the full study "
                              "into the monolithic analysis report")
+    parser.add_argument("--tables", action="store_true",
+                        help="emit the paper Tables 2-5 comparison report "
+                             "(audio vs comparator diversity, additive "
+                             "value, match scores, math-lib attribution)")
     parser.add_argument("--out", help="write the report here (atomic write); "
                                       "default: print JSON to stdout")
     parser.add_argument("--check", action="store_true",
@@ -148,6 +152,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.shard and args.merge:
         parser.error("--shard and --merge are mutually exclusive")
+    if args.tables and (args.shard or args.merge):
+        parser.error("--tables works on a monolithic dataset only")
 
     recorder = Recorder() if args.timings else NULL_RECORDER
     if args.shard:
@@ -181,6 +187,8 @@ def _run_dataset_mode(args, parser, recorder) -> int:
               file=sys.stderr)
         return 2
 
+    if args.tables:
+        return _run_tables_mode(args, dataset, recorder)
     report = build_analysis_report(dataset, recorder=recorder)
     problems = validate_analysis_report(report)
     if problems:
@@ -191,6 +199,28 @@ def _run_dataset_mode(args, parser, recorder) -> int:
         return 2
     return _emit(args, report, dumps_analysis_report(report),
                  render_analysis_report)
+
+
+def _run_tables_mode(args, dataset, recorder) -> int:
+    from ..vectors.registry import UnknownVectorError
+    from .tables import (build_tables_report, dumps_tables_report,
+                         render_tables_report, validate_tables_report)
+    try:
+        report = build_tables_report(dataset, recorder=recorder)
+    except UnknownVectorError as exc:
+        # a dataset naming a vector this build has never heard of is a
+        # user-facing input problem, not a crash
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    problems = validate_tables_report(report)
+    if problems:
+        print("error: built tables report failed its own schema check:",
+              file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 2
+    return _emit(args, report, dumps_tables_report(report),
+                 render_tables_report)
 
 
 if __name__ == "__main__":  # pragma: no cover — exercised via CLI tests

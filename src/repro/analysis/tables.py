@@ -1,0 +1,446 @@
+"""Paper Tables 2–5: the cross-vector comparison battery.
+
+Where ``repro.analysis.report`` measures each vector in isolation, this
+module reproduces the paper's *comparative* results:
+
+  Table 2  diversity of the audio vectors and their combined tuple.
+  Table 3  diversity of the comparator vectors (canvas, fonts,
+           useragent, mathjs) and the all-vector combination.
+  additive value — how much entropy audio adds on top of each
+           comparator (the paper's Canvas+Audio ≈ +9.6%,
+           UA+Audio ≈ +9.7% headline).
+  match scores — re-identification consistency when a user returns:
+           train on the first ``s`` iterations, test on the next ``s``
+           (the paper reports ≥ ~0.98 for s >= 2).
+  Table 4  the 528-user follow-up: Math-JS diversity vs DC diversity
+           (the math library explains only part of the audio signal).
+  Table 5  the same attribution per platform: distinct DC vs distinct
+           Math-JS fingerprints within each OS.
+
+Same determinism contract as the analysis report: the document is a
+pure function of the dataset, every float is rounded to
+``FLOAT_DECIMALS``, serialization is sorted — the same dataset always
+produces byte-identical table reports.
+"""
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from ..obs import NULL_RECORDER
+from ..vectors.registry import get_vector
+from .collation import UnionFind, collate, combined_user_ids, series_edges
+from .entropy import FLOAT_DECIMALS, distribution, shannon_entropy
+
+__all__ = [
+    "TABLES_KIND", "TABLES_FORMAT", "MATCH_SPLITS", "classify_vectors",
+    "match_score", "build_tables_report", "dumps_tables_report",
+    "validate_tables_report", "render_tables_report",
+]
+
+TABLES_KIND = "repro.analysis.tables"
+TABLES_FORMAT = 1
+
+#: the revisit depths the match-score table sweeps (paper's s axis)
+MATCH_SPLITS = (1, 2, 3, 5)
+
+
+def _round(value: float) -> float:
+    return round(float(value), FLOAT_DECIMALS)
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def classify_vectors(names) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """Split vector names into (audio, comparator) battery halves.
+
+    Raises ``UnknownVectorError`` on any name the registry has never
+    seen — the tables CLI surfaces that as a named error, not a
+    traceback.
+    """
+    audio, comparator = [], []
+    for name in names:
+        vector = get_vector(name)
+        if vector.kind == "comparator":
+            comparator.append(name)
+        else:
+            audio.append(name)
+    return tuple(audio), tuple(comparator)
+
+
+def match_score(codes: np.ndarray, s: int) -> float | None:
+    """Fraction of users whose revisit fingerprints stay linkable.
+
+    Train on each user's first ``s`` iterations (collating co-observed
+    eFPs into components, exactly like the full-study collation), then
+    test on the next ``s``: a user *matches* iff at least one test eFP
+    was already seen in training and every previously-seen test eFP
+    resolves to the user's own training component. Returns None when the
+    series is too short to split (needs ``2 s`` iterations).
+    """
+    users, iterations = codes.shape
+    if users == 0 or iterations < 2 * s:
+        return None
+    train = codes[:, :s]
+    test = codes[:, s:2 * s]
+    uf = UnionFind(int(codes.max()) + 1)
+    uf.union_edges(series_edges(train))
+    roots = uf.roots()
+    seen = np.zeros(roots.shape[0], dtype=bool)
+    seen[train.ravel()] = True
+    own = roots[train[:, 0]]
+    matched = 0
+    for u in range(users):
+        revisits = [e for e in test[u].tolist() if seen[e]]
+        if revisits and all(int(roots[e]) == int(own[u]) for e in revisits):
+            matched += 1
+    return matched / users
+
+
+def _battery_section(collations, names) -> dict:
+    """One diversity table: per-vector collated distributions plus the
+    combined per-user tuple row."""
+    section = {
+        "vectors": {name: distribution(
+            collations[name].user_components.tolist()) for name in names},
+    }
+    section["combined"] = distribution(combined_user_ids(collations, names)) \
+        if names else None
+    return section
+
+
+def _additive_value(collations, audio_names, comparator_names):
+    """Entropy each comparator gains when paired with the combined audio
+    fingerprint (the paper's additive-value analysis)."""
+    if not audio_names or not comparator_names:
+        return None
+    audio_ids = combined_user_ids(collations, audio_names)
+    pairs = []
+    for base in comparator_names:
+        base_ids = collations[base].user_components.tolist()
+        base_bits = shannon_entropy(base_ids)
+        pair_bits = shannon_entropy(
+            [(b, a) for b, a in zip(base_ids, audio_ids)])
+        pairs.append({
+            "base": base,
+            "base_entropy_bits": _round(base_bits),
+            "with_audio_entropy_bits": _round(pair_bits),
+            "delta_bits": _round(pair_bits - base_bits),
+            "delta_pct": (_round(100.0 * (pair_bits - base_bits) / base_bits)
+                          if base_bits > 0 else None),
+        })
+    return {"audio_vectors": list(audio_names), "pairs": pairs}
+
+
+def _match_scores(collations, audio_names, iterations):
+    """The revisit-consistency sweep over ``MATCH_SPLITS``; only splits
+    the series actually covers (2 s <= iterations) are emitted."""
+    splits = [s for s in MATCH_SPLITS if 2 * s <= iterations]
+    if not audio_names or not splits:
+        return None
+    scores = {}
+    for name in audio_names:
+        codes = collations[name].codes
+        scores[name] = {str(s): _round(match_score(codes, s))
+                        for s in splits}
+    return {"splits": splits, "scores": scores}
+
+
+def _table4(collations):
+    """Math-JS vs DC diversity (the 528-user follow-up's attribution)."""
+    if "dc" not in collations or "mathjs" not in collations:
+        return None
+    dc = distribution(collations["dc"].user_components.tolist())
+    mathjs = distribution(collations["mathjs"].user_components.tolist())
+    ratio = (dc["entropy_bits"] / mathjs["entropy_bits"]
+             if mathjs["entropy_bits"] > 0 else None)
+    return {
+        "dc": dc,
+        "mathjs": mathjs,
+        "dc_over_mathjs_entropy": _round(ratio) if ratio is not None else None,
+    }
+
+
+def _table5(dataset, collations):
+    """Per-platform distinct DC vs distinct Math-JS fingerprints."""
+    if "dc" not in collations or "mathjs" not in collations:
+        return None
+    dc = collations["dc"]
+    mathjs = collations["mathjs"]
+    os_of = {user["id"]: user.get("os", "unknown") for user in dataset.users}
+    groups: dict[str, list[int]] = {}
+    for index, user_id in enumerate(dc.user_ids):
+        groups.setdefault(os_of.get(user_id, "unknown"), []).append(index)
+    rows = []
+    for platform in sorted(groups):
+        indexes = np.array(groups[platform], dtype=np.int64)
+        rows.append({
+            "platform": platform,
+            "users": int(indexes.shape[0]),
+            "dc_distinct": int(
+                np.unique(dc.user_components[indexes]).shape[0]),
+            "mathjs_distinct": int(
+                np.unique(mathjs.user_components[indexes]).shape[0]),
+        })
+    return rows
+
+
+def build_tables_report(dataset, collations=None,
+                        recorder=NULL_RECORDER) -> dict:
+    """Collate (unless pre-collated) and assemble the tables document."""
+    audio_names, comparator_names = classify_vectors(dataset.vectors)
+    if collations is None:
+        collations = collate(dataset, recorder=recorder)
+    with recorder.span("tables"):
+        all_names = audio_names + comparator_names
+        return {
+            "kind": TABLES_KIND,
+            "format": TABLES_FORMAT,
+            "dataset": {
+                "seed": dataset.seed,
+                "user_count": dataset.user_count,
+                "iterations": dataset.iterations,
+                "vectors": list(dataset.vectors),
+            },
+            "audio_vectors": list(audio_names),
+            "comparator_vectors": list(comparator_names),
+            "table2_audio": _battery_section(collations, audio_names),
+            "table3_comparators": _battery_section(collations,
+                                                   comparator_names),
+            "combined_all": (distribution(
+                combined_user_ids(collations, all_names))
+                if all_names else None),
+            "additive_value": _additive_value(collations, audio_names,
+                                              comparator_names),
+            "match_scores": _match_scores(collations, audio_names,
+                                          dataset.iterations),
+            "table4_mathjs": _table4(collations),
+            "table5_platforms": _table5(dataset, collations),
+        }
+
+
+def dumps_tables_report(report: dict) -> str:
+    """The canonical byte encoding (what the CLI writes and CI diffs)."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+# -- validation (the CI schema check) ----------------------------------------
+
+def validate_tables_report(payload) -> list[str]:
+    """Return the list of schema/integrity problems (empty == valid)."""
+    from .report import _check_distribution
+
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["tables report is not a JSON object"]
+    if payload.get("kind") != TABLES_KIND:
+        problems.append(
+            f"kind must be {TABLES_KIND!r}, got {payload.get('kind')!r}")
+    if payload.get("format") != TABLES_FORMAT:
+        problems.append(
+            f"format must be {TABLES_FORMAT}, got {payload.get('format')!r}")
+
+    dataset = payload.get("dataset")
+    if not isinstance(dataset, dict):
+        problems.append("dataset must be an object")
+        dataset = {}
+    for key in ("seed", "user_count", "iterations"):
+        if not _is_number(dataset.get(key)):
+            problems.append(f"dataset.{key} must be numeric")
+
+    audio = payload.get("audio_vectors")
+    comparator = payload.get("comparator_vectors")
+    if not isinstance(audio, list) or not audio:
+        problems.append("audio_vectors must be a non-empty array")
+        audio = []
+    if not isinstance(comparator, list):
+        problems.append("comparator_vectors must be an array")
+        comparator = []
+    if set(audio) & set(comparator):
+        problems.append("audio_vectors and comparator_vectors overlap")
+    declared = dataset.get("vectors")
+    if isinstance(declared, list) \
+            and sorted(declared) != sorted(audio + comparator):
+        problems.append("audio+comparator vectors do not cover "
+                        "dataset.vectors")
+
+    for section_key, names in (("table2_audio", audio),
+                               ("table3_comparators", comparator)):
+        section = payload.get(section_key)
+        if not isinstance(section, dict):
+            problems.append(f"{section_key} must be an object")
+            continue
+        vectors = section.get("vectors")
+        if not isinstance(vectors, dict) or sorted(vectors) != sorted(names):
+            problems.append(
+                f"{section_key}.vectors keys must match the declared names")
+            vectors = {}
+        for name, dist in vectors.items():
+            _check_distribution(problems, f"{section_key}.vectors[{name!r}]",
+                                dist)
+        combined = section.get("combined")
+        if names and combined is None:
+            problems.append(f"{section_key}.combined missing")
+        elif combined is not None:
+            _check_distribution(problems, f"{section_key}.combined", combined)
+            # combining vectors can only refine the partition
+            for name, dist in vectors.items():
+                if isinstance(dist, dict) \
+                        and _is_number(dist.get("entropy_bits")) \
+                        and _is_number(combined.get("entropy_bits")) \
+                        and combined["entropy_bits"] \
+                        < dist["entropy_bits"] - 1e-9:
+                    problems.append(
+                        f"{section_key}.combined entropy below component "
+                        f"{name!r} (refinement invariant violated)")
+
+    combined_all = payload.get("combined_all")
+    if combined_all is not None:
+        _check_distribution(problems, "combined_all", combined_all)
+
+    additive = payload.get("additive_value")
+    if additive is not None:
+        pairs = additive.get("pairs") if isinstance(additive, dict) else None
+        if not isinstance(pairs, list) or not pairs:
+            problems.append("additive_value.pairs must be a non-empty array")
+            pairs = []
+        for entry in pairs:
+            if not isinstance(entry, dict) \
+                    or not isinstance(entry.get("base"), str) \
+                    or not _is_number(entry.get("base_entropy_bits")) \
+                    or not _is_number(entry.get("with_audio_entropy_bits")):
+                problems.append("additive_value.pairs entry malformed")
+                continue
+            if entry["with_audio_entropy_bits"] \
+                    < entry["base_entropy_bits"] - 1e-9:
+                problems.append(
+                    f"additive_value[{entry['base']!r}]: pairing with audio "
+                    "lowered entropy (monotonicity violated)")
+
+    scores = payload.get("match_scores")
+    if scores is not None:
+        table = scores.get("scores") if isinstance(scores, dict) else None
+        if not isinstance(table, dict) or not table:
+            problems.append("match_scores.scores must be a non-empty object")
+            table = {}
+        for name, per_split in table.items():
+            if not isinstance(per_split, dict):
+                problems.append(f"match_scores.scores[{name!r}] must be "
+                                "an object")
+                continue
+            for split, value in per_split.items():
+                if not _is_number(value) or not 0.0 <= value <= 1.0:
+                    problems.append(
+                        f"match_scores.scores[{name!r}][{split}] out of "
+                        "[0, 1]")
+
+    table4 = payload.get("table4_mathjs")
+    if table4 is not None:
+        if not isinstance(table4, dict):
+            problems.append("table4_mathjs must be an object")
+        else:
+            _check_distribution(problems, "table4_mathjs.dc",
+                                table4.get("dc"))
+            _check_distribution(problems, "table4_mathjs.mathjs",
+                                table4.get("mathjs"))
+
+    table5 = payload.get("table5_platforms")
+    if table5 is not None:
+        if not isinstance(table5, list) or not table5:
+            problems.append("table5_platforms must be a non-empty array")
+            table5 = []
+        for row in table5:
+            if not isinstance(row, dict) \
+                    or not isinstance(row.get("platform"), str) \
+                    or not all(isinstance(row.get(k), int)
+                               and not isinstance(row.get(k), bool)
+                               and row.get(k) >= 0
+                               for k in ("users", "dc_distinct",
+                                         "mathjs_distinct")):
+                problems.append("table5_platforms row malformed")
+                continue
+            for key in ("dc_distinct", "mathjs_distinct"):
+                if row[key] > row["users"]:
+                    problems.append(
+                        f"table5_platforms[{row['platform']!r}].{key} "
+                        "exceeds the platform's user count")
+    return problems
+
+
+# -- human-readable rendering -------------------------------------------------
+
+def render_tables_report(payload: dict) -> str:
+    """Render the tables report as the paper-style comparison tables."""
+    from ..obs.report import _table  # deferred, same reason as report.py
+
+    out: list[str] = []
+    dataset = payload.get("dataset", {})
+    out.append("== tables report (paper Tables 2-5) ==")
+    out.append("dataset: " + ", ".join(f"{k}={v}" for k, v in dataset.items()))
+
+    for title, key in (("table 2 — audio vectors", "table2_audio"),
+                       ("table 3 — comparator vectors",
+                        "table3_comparators")):
+        section = payload.get(key) or {}
+        rows = []
+        for name, dist in (section.get("vectors") or {}).items():
+            rows.append([name, str(dist["distinct"]),
+                         f"{dist['entropy_bits']:.4f}",
+                         f"{dist['normalized_entropy']:.4f}",
+                         f"{dist['unique_fraction']:.4f}"])
+        combined = section.get("combined")
+        if combined:
+            rows.append(["combined", str(combined["distinct"]),
+                         f"{combined['entropy_bits']:.4f}",
+                         f"{combined['normalized_entropy']:.4f}",
+                         f"{combined['unique_fraction']:.4f}"])
+        out.append("")
+        out.append(title + ":")
+        out.append(_table(["vector", "distinct", "H_bits", "e_norm",
+                           "unique_frac"], rows))
+
+    additive = payload.get("additive_value")
+    if additive:
+        out.append("")
+        out.append("additive value of audio over each comparator:")
+        rows = [[entry["base"], f"{entry['base_entropy_bits']:.4f}",
+                 f"{entry['with_audio_entropy_bits']:.4f}",
+                 f"{entry['delta_bits']:.4f}",
+                 ("-" if entry.get("delta_pct") is None
+                  else f"{entry['delta_pct']:+.2f}%")]
+                for entry in additive["pairs"]]
+        out.append(_table(["base", "H_base", "H_base+audio", "delta_bits",
+                           "delta_pct"], rows))
+
+    scores = payload.get("match_scores")
+    if scores:
+        out.append("")
+        out.append("match scores (train s iterations, test next s):")
+        splits = [str(s) for s in scores["splits"]]
+        rows = [[name] + [f"{per_split[s]:.4f}" for s in splits]
+                for name, per_split in scores["scores"].items()]
+        out.append(_table(["vector"] + [f"s={s}" for s in splits], rows))
+
+    table4 = payload.get("table4_mathjs")
+    if table4:
+        out.append("")
+        out.append("table 4 — math library vs DC attribution:")
+        rows = [["dc", str(table4["dc"]["distinct"]),
+                 f"{table4['dc']['entropy_bits']:.4f}"],
+                ["mathjs", str(table4["mathjs"]["distinct"]),
+                 f"{table4['mathjs']['entropy_bits']:.4f}"]]
+        out.append(_table(["vector", "distinct", "H_bits"], rows))
+
+    table5 = payload.get("table5_platforms")
+    if table5:
+        out.append("")
+        out.append("table 5 — per-platform DC vs Math-JS distinct counts:")
+        rows = [[row["platform"], str(row["users"]),
+                 str(row["dc_distinct"]), str(row["mathjs_distinct"])]
+                for row in table5]
+        out.append(_table(["platform", "users", "dc", "mathjs"], rows))
+    out.append("")
+    return "\n".join(out)

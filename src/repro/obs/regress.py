@@ -43,6 +43,7 @@ BASELINES = {
     "bench_obs_overhead": "BENCH_obs_overhead.json",
     "resilience": "BENCH_resilience.json",
     "bench_shard_scale": "BENCH_shard_scale.json",
+    "bench_tables": "BENCH_tables.json",
 }
 
 #: watched metrics: benchmark -> [(dotted path, direction, rel tolerance)]
@@ -75,6 +76,16 @@ SPECS = {
         ("gates.renders_per_s", "higher", 0.60),
         ("gates.sharded_vs_monolithic_throughput", "higher", 0.50),
         ("gates.rss_growth_per_user_growth", "lower", 1.00),
+    ],
+    # the Table 2-5 gates are dimensionless ratios/scores; they drift a
+    # little with population size (CI reruns at smoke scale), so the
+    # bands cover the full-vs-smoke spread plus headroom
+    "bench_tables": [
+        ("tables.users_per_s", "higher", 0.60),
+        ("gates.comparator_over_audio_entropy", "higher", 0.35),
+        ("gates.additive_min_delta_pct", "higher", 0.65),
+        ("gates.match_score_min_s2", "higher", 0.05),
+        ("gates.dc_over_mathjs_entropy", "higher", 0.25),
     ],
 }
 

@@ -432,6 +432,23 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if isinstance(payload, dict) \
+            and payload.get("kind") == "repro.analysis.tables":
+        from ..analysis.tables import (render_tables_report,
+                                       validate_tables_report)
+        problems = validate_tables_report(payload)
+        if problems:
+            print(f"error: {args.path} failed schema check:", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 2
+        if not args.check:
+            try:
+                print(render_tables_report(payload))
+            except BrokenPipeError:  # e.g. piped into `head`
+                sys.stderr.close()
+        return 0
+
+    if isinstance(payload, dict) \
             and payload.get("kind") == "repro.analysis.shard_report":
         from ..analysis.shards import (render_shard_report,
                                        validate_shard_report)

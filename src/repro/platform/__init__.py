@@ -16,6 +16,9 @@ from .jitter import (  # noqa: F401
     sample_path,
     sample_load,
 )
+from .browsers import UAStack, sample_ua  # noqa: F401
+from .canvas_stack import CanvasStack, sample_canvas  # noqa: F401
+from .font_stack import FontStack, sample_fonts  # noqa: F401
 
 __all__ = [
     "MathBackend",
@@ -30,4 +33,10 @@ __all__ = [
     "parse_path",
     "sample_path",
     "sample_load",
+    "UAStack",
+    "sample_ua",
+    "CanvasStack",
+    "sample_canvas",
+    "FontStack",
+    "sample_fonts",
 ]

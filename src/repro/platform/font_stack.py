@@ -1,0 +1,69 @@
+"""Font-enumeration stack: the frozen installed-font identity.
+
+The fonts comparator (paper Table 3) probes which of a candidate list of
+font families render distinctly — effectively the set of installed
+fonts. We model that as a per-OS base set (what the OS ships) plus
+independent optional *packs* (office suites, design tools, language
+packs, developer fonts), each present with its own probability. The
+resulting power-set structure is what gives the fonts vector its high
+diversity while staying strongly OS-correlated, matching the survey's
+entropy framing.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: fonts every device of an OS family reports
+BASE_FONTS: dict[str, tuple[str, ...]] = {
+    "Windows": ("Arial", "Calibri", "Cambria", "Consolas", "Georgia",
+                "Segoe UI", "Tahoma", "Times New Roman", "Verdana"),
+    "macOS": ("Avenir", "Geneva", "Gill Sans", "Helvetica",
+              "Helvetica Neue", "Menlo", "Monaco", "San Francisco",
+              "Times"),
+    "Android": ("Droid Sans Mono", "Noto Sans", "Noto Serif", "Roboto",
+                "Roboto Condensed"),
+    "Linux": ("Cantarell", "DejaVu Sans", "DejaVu Serif",
+              "Liberation Mono", "Liberation Sans", "Ubuntu"),
+}
+
+#: optional packs: (pack fonts, install probability). Draw order is the
+#: tuple order below — one rng.random() per pack per user, always.
+FONT_PACKS: tuple[tuple[tuple[str, ...], float], ...] = (
+    (("Office Pro", "Book Antiqua", "Century Gothic"), 0.62),
+    (("Garamond", "Palatino Linotype"), 0.50),
+    (("Source Sans Pro", "Source Code Pro"), 0.44),
+    (("Fira Code", "Fira Sans"), 0.38),
+    (("Adobe Caslon Pro", "Minion Pro"), 0.32),
+    (("Lato", "Open Sans"), 0.28),
+    (("Noto Color Emoji",), 0.22),
+    (("PT Sans", "PT Serif"), 0.15),
+    (("Comic Neue",), 0.08),
+)
+
+
+@dataclass(frozen=True)
+class FontStack:
+    """The frozen font identity: a sorted tuple of installed families."""
+
+    fonts: tuple[str, ...]
+
+    def cache_key(self) -> str:
+        return "fonts|" + ",".join(self.fonts)
+
+
+def sample_fonts(rng: np.random.Generator, os_name: str,
+                 browser: str) -> FontStack:
+    """Draw a font identity conditional on the device's OS.
+
+    Exactly ``len(FONT_PACKS)`` uniform draws from the caller's per-user
+    stream (one per pack, in pack order), regardless of outcomes — the
+    draw count never depends on earlier packs, keeping downstream draws
+    aligned across devices of the same (os, browser)."""
+    del browser  # enumeration sees the OS font dirs, not the browser
+    installed = list(BASE_FONTS[os_name])
+    for pack, probability in FONT_PACKS:
+        if rng.random() < probability:
+            installed.extend(pack)
+    return FontStack(fonts=tuple(sorted(installed)))

@@ -3,6 +3,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..platform.browsers import UAStack
+from ..platform.canvas_stack import CanvasStack
+from ..platform.font_stack import FontStack
 from ..platform.stacks import AudioStack
 
 
@@ -13,12 +16,25 @@ class Device:
     os: str
     browser: str
     load: float  # per-user CPU load level in [0, 1), drives fickleness
+    #: comparator-vector identities (None only for hand-built devices in
+    #: audio-only tests; the sampler always fills them)
+    ua: UAStack | None = None
+    canvas: CanvasStack | None = None
+    fonts: FontStack | None = None
 
     def describe(self) -> dict:
+        # the exact load float: JSON round-trips float64 via repr, so a
+        # device rebuilt from its description is bit-identical (lossy
+        # round(load, 6) here used to break that — pinned by test)
         return {
             "id": self.user_id,
             "stack_key": self.stack.cache_key(),
             "os": self.os,
             "browser": self.browser,
-            "load": round(self.load, 6),
+            "load": self.load,
+            "ua_key": self.ua.cache_key() if self.ua is not None else None,
+            "canvas_key": (self.canvas.cache_key()
+                           if self.canvas is not None else None),
+            "fonts_key": (self.fonts.cache_key()
+                          if self.fonts is not None else None),
         }

@@ -19,6 +19,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..platform.browsers import sample_ua
+from ..platform.canvas_stack import sample_canvas
+from ..platform.font_stack import sample_fonts
 from ..platform.jitter import sample_load
 from ..platform.stacks import default_stack_pool
 from .device import Device
@@ -64,12 +67,20 @@ def sample_population_slice(user_count: int, seed: int, start: int,
         pick = min(int(np.searchsorted(cdf, rng.random(), side="right")),
                    len(pool) - 1)
         stack, os_name, browser, _ = pool[pick]
+        # draw order is frozen: stack pick, load, then the comparator
+        # stacks — appending the UA/canvas/fonts draws AFTER the original
+        # two keeps every pre-existing device field (and with it every
+        # cached audio eFP) bit-identical to older populations
+        load = sample_load(rng)
         devices.append(Device(
             user_id=f"u{i:05d}",
             stack=stack,
             os=os_name,
             browser=browser,
-            load=sample_load(rng),
+            load=load,
+            ua=sample_ua(rng, os_name, browser),
+            canvas=sample_canvas(rng, os_name, browser),
+            fonts=sample_fonts(rng, os_name, browser),
         ))
     return devices
 

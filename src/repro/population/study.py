@@ -341,13 +341,19 @@ def _plan(devices: list[Device], vectors: tuple[str, ...], iterations: int,
     population draws exactly the paths the monolithic plan would.
     """
     item_keys: dict[tuple[str, str], list[str]] = {}   # (vector, user_id) -> keys
-    classes: dict[str, tuple[str, AudioStack, str]] = {}
+    classes: dict[str, tuple[str, object, str]] = {}
     for offset, device in enumerate(devices):
         rng = _user_rng(seed, first_index + offset)
-        stack_key = device.stack.cache_key()
         repertoire = sample_repertoire(rng, device.load)
         for vector_name in vectors:
             vector = get_vector(vector_name)
+            # each vector fingerprints its own per-device stack (the audio
+            # stack for audio vectors; UA/canvas/fonts/math identities for
+            # the comparators) — the class key and the render input both
+            # come from that stack, so the cache stays a pure function of
+            # (vector, stack, path) across every fingerprint surface
+            stack = vector.stack_of(device)
+            stack_key = stack.cache_key()
             keys = []
             for _ in range(iterations):
                 if vector.uses_analyser:
@@ -357,7 +363,7 @@ def _plan(devices: list[Device], vectors: tuple[str, ...], iterations: int,
                 key = RenderCache.make_key(vector_name, stack_key, path)
                 keys.append(key)
                 if key not in classes:
-                    classes[key] = (vector_name, device.stack, path)
+                    classes[key] = (vector_name, stack, path)
             item_keys[(vector_name, device.user_id)] = keys
     return item_keys, classes
 
@@ -380,8 +386,14 @@ def _validate_study_args(user_count, iterations, vectors, workers,
     if checkpoint_every <= 0:
         raise ValueError(f"checkpoint_every must be positive, "
                          f"got {checkpoint_every}")
+    seen = set()
     for name in vectors:
-        get_vector(name)  # fail fast on unknown vectors
+        get_vector(name)  # fail fast on unknown vectors (UnknownVectorError)
+        if name in seen:
+            # a duplicate would silently double-count the vector's series
+            # assembly; reject it before any rendering happens
+            raise ValueError(f"duplicate vector {name!r} in vectors")
+        seen.add(name)
 
 
 def _resolve_workers(workers: int | None) -> tuple[int, int | None, int]:

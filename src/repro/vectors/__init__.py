@@ -4,9 +4,36 @@ Every audio vector is a *pure function* ``render(stack, jitter_path) ->
 eFP`` (an md5 hex digest, the paper's elementary fingerprint). Purity is
 load-bearing: it is what lets the study runner collapse 440k renders into
 a few hundred equivalence classes.
+
+Comparator vectors (canvas, fonts, useragent, mathjs) ride the same
+machinery: each declares the per-device stack it fingerprints via
+``stack_of`` and renders a deterministic payload from it, so the study
+driver, cache, and analysis treat every fingerprint surface uniformly.
 """
 
 from .base import AudioVector, digest  # noqa: F401
-from .registry import VECTORS, get_vector  # noqa: F401
+from .registry import (  # noqa: F401
+    AUDIO_VECTORS,
+    COMPARATOR_VECTORS,
+    FULL_BATTERY,
+    UnknownVectorError,
+    VECTORS,
+    audio_vector_names,
+    comparator_vector_names,
+    get_vector,
+    register,
+)
 
-__all__ = ["AudioVector", "digest", "VECTORS", "get_vector"]
+__all__ = [
+    "AudioVector",
+    "digest",
+    "VECTORS",
+    "AUDIO_VECTORS",
+    "COMPARATOR_VECTORS",
+    "FULL_BATTERY",
+    "UnknownVectorError",
+    "audio_vector_names",
+    "comparator_vector_names",
+    "get_vector",
+    "register",
+]

@@ -31,8 +31,20 @@ class AudioVector:
     and (for true batching) ``_features_batch(stack, jitters)``."""
 
     name = "abstract"
+    #: "audio" vectors render through the webaudio engine off the device's
+    #: AudioStack; "comparator" vectors (canvas/fonts/UA/mathjs) fingerprint
+    #: a different per-device stack via ``stack_of`` — the analysis layer
+    #: dispatches its Table 2 vs Table 3 sections on this
+    kind = "audio"
     #: vectors that never touch the AnalyserNode ignore the jitter path
     uses_analyser = True
+
+    def stack_of(self, device):
+        """The per-device stack this vector fingerprints. The study planner
+        keys equivalence classes on ``stack_of(device).cache_key()``, so a
+        comparator vector overrides this to point at its own frozen stack
+        (the device's canvas/font/UA identity) instead of the audio one."""
+        return device.stack
 
     def render(self, stack, jitter_path: str | None = None) -> str:
         """Pure render: same (stack, path) -> bit-identical eFP, always."""

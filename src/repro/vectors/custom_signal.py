@@ -1,0 +1,52 @@
+"""Custom-signal vector: PeriodicWave oscillator -> compressor -> sum.
+
+The PeriodicWave variant of the classic compressor sample-sum probe
+(SNIPPETS.md #1 readout): a custom Fourier series — mixed sine and
+cosine harmonics, so both math-backend code paths contribute — through
+the DynamicsCompressor, fingerprint = sum of |samples| 4500..5000.
+Analyser-free, so bit-stable under load like the DC vector.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ..webaudio import OfflineAudioContext, PeriodicWave
+from .base import AudioVector, RENDER_LENGTH
+
+#: harmonic table of the probe waveform (index 0 = ignored DC terms); a
+#: 1 kHz fundamental keeps 8 harmonics under Nyquist at both sample rates
+_WAVE_REAL = (0.0, 0.10, 0.30, 0.00, 0.15, 0.00, 0.05, 0.00, 0.02)
+_WAVE_IMAG = (0.0, 1.00, 0.00, 0.50, 0.00, 0.25, 0.00, 0.10, 0.00)
+_FUNDAMENTAL_HZ = 1000.0
+
+
+class CustomSignalVector(AudioVector):
+    name = "custom"
+    uses_analyser = False
+
+    @staticmethod
+    def _build(context):
+        oscillator = context.create_oscillator()
+        oscillator.set_periodic_wave(PeriodicWave(_WAVE_REAL, _WAVE_IMAG))
+        oscillator.frequency.value = _FUNDAMENTAL_HZ
+        compressor = context.create_dynamics_compressor()
+        oscillator.connect(compressor).connect(context.destination)
+        oscillator.start(0.0)
+
+    def _features(self, stack, jitter):
+        context = OfflineAudioContext(1, RENDER_LENGTH, stack.sample_rate,
+                                      config=stack.realize())
+        self._build(context)
+        buffer = context.start_rendering()
+        total = np.sum(np.abs(buffer.get_channel_data(0)[4500:5000]))
+        return f"{total:.17g}"
+
+    def _features_batch(self, stack, jitters):
+        context = OfflineAudioContext(1, RENDER_LENGTH, stack.sample_rate,
+                                      config=stack.realize(),
+                                      batch_size=len(jitters))
+        self._build(context)
+        batch = context.start_rendering_batch()  # (B, 1, N)
+        # per-row 1-D sums: same reduction as the single-render path
+        return [f"{np.sum(np.abs(batch[b, 0, 4500:5000])):.17g}"
+                for b in range(batch.shape[0])]

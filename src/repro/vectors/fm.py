@@ -1,0 +1,54 @@
+"""FM vector: frequency-swept oscillator -> compressor -> analyser.
+
+A sine chirp built from AudioParam automation (set + linear ramp across
+the whole buffer), compressed, then read through the analyser. The
+automation events make this the one graph the fused planner always
+declines (fused kernels assume block-position-independent params), so
+the vector permanently exercises the quantum-loop reference path — its
+batched bit-identity tests guard exactly that fallback.
+"""
+from __future__ import annotations
+
+from ..webaudio import OfflineAudioContext
+from .base import AudioVector, RENDER_LENGTH
+
+_SWEEP_FROM_HZ = 4000.0
+_SWEEP_TO_HZ = 9000.0
+
+
+class FMVector(AudioVector):
+    name = "fm"
+    uses_analyser = True
+
+    @staticmethod
+    def _build(context):
+        oscillator = context.create_oscillator()
+        oscillator.type = "sine"
+        sweep_end = context.length / context.sample_rate
+        oscillator.frequency.set_value_at_time(_SWEEP_FROM_HZ, 0.0)
+        oscillator.frequency.linear_ramp_to_value_at_time(_SWEEP_TO_HZ,
+                                                          sweep_end)
+        compressor = context.create_dynamics_compressor()
+        analyser = context.create_analyser()
+        sink = context.create_gain()
+        sink.gain.value = 0.0
+        oscillator.connect(compressor).connect(analyser).connect(sink) \
+            .connect(context.destination)
+        oscillator.start(0.0)
+        return analyser
+
+    def _features(self, stack, jitter):
+        context = OfflineAudioContext(1, RENDER_LENGTH, stack.sample_rate,
+                                      config=stack.realize(jitter))
+        analyser = self._build(context)
+        context.start_rendering()
+        return analyser.get_float_frequency_data()
+
+    def _features_batch(self, stack, jitters):
+        context = OfflineAudioContext(1, RENDER_LENGTH, stack.sample_rate,
+                                      config=stack.realize(),
+                                      batch_size=len(jitters))
+        analyser = self._build(context)
+        context.start_rendering_batch()
+        rows = analyser.get_float_frequency_data_batch(jitters)
+        return [rows[b] for b in range(rows.shape[0])]

@@ -1,0 +1,25 @@
+"""Fonts comparator vector: the JS font-enumeration fingerprint.
+
+Stands in for the width/height font-detection probe: the observable is
+the set of installed font families, which ``repro.platform.font_stack``
+models per device. Table 3's second comparator.
+"""
+from __future__ import annotations
+
+from .base import AudioVector
+
+
+class FontsVector(AudioVector):
+    name = "fonts"
+    kind = "comparator"
+    uses_analyser = False
+
+    def stack_of(self, device):
+        if device.fonts is None:
+            raise ValueError(
+                f"device {device.user_id!r} carries no font stack; "
+                "the fonts vector needs sampler-built devices")
+        return device.fonts
+
+    def _features(self, stack, jitter):
+        return "fonts-probe-v1;" + ",".join(stack.fonts)

@@ -1,0 +1,54 @@
+"""Merged-signals vector: three oscillators -> merger -> compressor ->
+analyser.
+
+Three waveforms at different frequencies merged into one multi-channel
+stream, compressed, then read through the AnalyserNode — the widest
+graph in the battery (fan-in at the merger means the fused planner
+declines it and the quantum loop renders it; batched bit-identity is
+what the tests pin). Inherits the analyser's load fickleness.
+"""
+from __future__ import annotations
+
+from ..webaudio import OfflineAudioContext
+from .base import AudioVector, RENDER_LENGTH
+
+#: (type, frequency) of the three merged sources
+_SOURCES = (("sine", 1000.0), ("square", 2500.0), ("sawtooth", 6500.0))
+
+
+class MergedSignalsVector(AudioVector):
+    name = "merged"
+    uses_analyser = True
+
+    @staticmethod
+    def _build(context):
+        merger = context.create_channel_merger(len(_SOURCES))
+        for port, (wave_type, freq) in enumerate(_SOURCES):
+            oscillator = context.create_oscillator()
+            oscillator.type = wave_type
+            oscillator.frequency.value = freq
+            oscillator.connect(merger, input=port)
+            oscillator.start(0.0)
+        compressor = context.create_dynamics_compressor()
+        analyser = context.create_analyser()
+        sink = context.create_gain()
+        sink.gain.value = 0.0
+        merger.connect(compressor).connect(analyser).connect(sink) \
+            .connect(context.destination)
+        return analyser
+
+    def _features(self, stack, jitter):
+        context = OfflineAudioContext(1, RENDER_LENGTH, stack.sample_rate,
+                                      config=stack.realize(jitter))
+        analyser = self._build(context)
+        context.start_rendering()
+        return analyser.get_float_frequency_data()
+
+    def _features_batch(self, stack, jitters):
+        context = OfflineAudioContext(1, RENDER_LENGTH, stack.sample_rate,
+                                      config=stack.realize(),
+                                      batch_size=len(jitters))
+        analyser = self._build(context)
+        context.start_rendering_batch()
+        rows = analyser.get_float_frequency_data_batch(jitters)
+        return [rows[b] for b in range(rows.shape[0])]

@@ -1,15 +1,94 @@
-"""Vector registry: names <-> vector objects."""
+"""Vector registry: names <-> vector objects.
+
+Registration is explicit: every built-in vector goes through
+``register``, which refuses duplicate names — a silent-shadowing bug
+class this module used to permit via direct dict construction. Lookups
+raise ``UnknownVectorError`` (a ``KeyError`` subclass, so pre-existing
+``except KeyError`` callers keep working) with the sorted list of known
+names in the message.
+"""
 from __future__ import annotations
 
+from .am import AMVector
+from .base import AudioVector
+from .canvas import CanvasVector
+from .custom_signal import CustomSignalVector
 from .dc import DCVector
 from .fft_vector import FFTVector
+from .fonts import FontsVector
+from .fm import FMVector
 from .hybrid import HybridVector
+from .mathjs import MathJSVector
+from .merged_signals import MergedSignalsVector
+from .useragent import UserAgentVector
 
-VECTORS = {v.name: v for v in (DCVector(), FFTVector(), HybridVector())}
+
+class UnknownVectorError(KeyError):
+    """Lookup of a vector name the registry has never seen."""
+
+    def __init__(self, name: str, known) -> None:
+        super().__init__(name)
+        self.name = name
+        self.known = tuple(sorted(known))
+
+    def __str__(self) -> str:
+        return f"unknown vector {self.name!r}; have {list(self.known)}"
 
 
-def get_vector(name: str):
+VECTORS: dict[str, AudioVector] = {}
+
+
+def register(vector: AudioVector) -> AudioVector:
+    """Add ``vector`` to the registry; raise if the name is taken.
+
+    Duplicate names used to silently shadow the earlier registration —
+    now they fail loudly at import/registration time.
+    """
+    name = vector.name
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"vector must carry a non-empty string name, "
+                         f"got {name!r}")
+    if name in VECTORS:
+        raise ValueError(
+            f"vector name {name!r} is already registered by "
+            f"{type(VECTORS[name]).__name__}; refusing to shadow it")
+    VECTORS[name] = vector
+    return vector
+
+
+def get_vector(name: str) -> AudioVector:
     try:
         return VECTORS[name]
     except KeyError:
-        raise KeyError(f"unknown vector {name!r}; have {sorted(VECTORS)}") from None
+        raise UnknownVectorError(name, VECTORS) from None
+
+
+def audio_vector_names() -> tuple[str, ...]:
+    return tuple(n for n, v in VECTORS.items() if v.kind == "audio")
+
+
+def comparator_vector_names() -> tuple[str, ...]:
+    return tuple(n for n, v in VECTORS.items() if v.kind == "comparator")
+
+
+for _vector in (
+    # audio battery (registration order is the canonical battery order)
+    DCVector(),
+    FFTVector(),
+    HybridVector(),
+    CustomSignalVector(),
+    MergedSignalsVector(),
+    AMVector(),
+    FMVector(),
+    # comparator battery
+    MathJSVector(),
+    CanvasVector(),
+    FontsVector(),
+    UserAgentVector(),
+):
+    register(_vector)
+del _vector
+
+AUDIO_VECTORS = audio_vector_names()
+COMPARATOR_VECTORS = comparator_vector_names()
+FULL_BATTERY = AUDIO_VECTORS + COMPARATOR_VECTORS

@@ -16,11 +16,12 @@ from .config import (EngineConfig, CompressorParams, NumpyMath,  # noqa: E402
                      get_default_render_path, set_default_render_path)
 from .buffer import AudioBuffer  # noqa: E402
 from .context import OfflineAudioContext  # noqa: E402
-from .oscillator import OscillatorNode  # noqa: E402
+from .oscillator import OscillatorNode, PeriodicWave  # noqa: E402
 from .gain import GainNode  # noqa: E402
 from .merger import ChannelMergerNode  # noqa: E402
 from .compressor import DynamicsCompressorNode  # noqa: E402
 from .analyser import AnalyserNode  # noqa: E402
+from .script_processor import ScriptProcessorNode  # noqa: E402
 from .segments import FusedPlan, Segment, plan_segments  # noqa: E402
 from . import fft  # noqa: E402
 from . import jit  # noqa: E402
@@ -42,9 +43,11 @@ __all__ = [
     "AudioBuffer",
     "OfflineAudioContext",
     "OscillatorNode",
+    "PeriodicWave",
     "GainNode",
     "ChannelMergerNode",
     "DynamicsCompressorNode",
     "AnalyserNode",
+    "ScriptProcessorNode",
     "fft",
 ]

@@ -95,6 +95,15 @@ class OfflineAudioContext:
         from .analyser import AnalyserNode
         return AnalyserNode(self)
 
+    def create_script_processor(self, buffer_size: int = 256, script=None):
+        from .script_processor import ScriptProcessorNode
+        return ScriptProcessorNode(self, buffer_size, script)
+
+    @staticmethod
+    def create_periodic_wave(real, imag):
+        from .oscillator import PeriodicWave
+        return PeriodicWave(real, imag)
+
     @property
     def current_time(self) -> float:
         return self.length / self.sample_rate if self._rendered_batch is not None else 0.0

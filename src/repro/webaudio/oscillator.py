@@ -22,6 +22,39 @@ _MAX_HARMONICS = 128
 _ULP = 2.0 ** -52
 
 
+class PeriodicWave:
+    """Custom-waveform Fourier coefficients (Web Audio ``PeriodicWave``).
+
+    ``real[k]``/``imag[k]`` are the cosine/sine amplitudes of harmonic
+    ``k``; index 0 is ignored exactly as the spec ignores the DC terms.
+    Coefficients are copied and frozen at construction, so a wave object
+    is a stable identity: the same wave always synthesizes the same
+    floats. Normalization is NOT applied (the
+    ``disableNormalization=true`` semantics) — fingerprinting probes want
+    the raw series, and normalizing would couple every coefficient to a
+    render-dependent peak scan.
+    """
+
+    __slots__ = ("real", "imag")
+
+    def __init__(self, real, imag):
+        real = np.array(real, dtype=np.float64, copy=True)
+        imag = np.array(imag, dtype=np.float64, copy=True)
+        if real.ndim != 1 or imag.ndim != 1:
+            raise ValueError("PeriodicWave coefficients must be 1-D arrays")
+        if real.shape != imag.shape:
+            raise ValueError(
+                f"PeriodicWave real/imag lengths differ: "
+                f"{real.shape[0]} != {imag.shape[0]}")
+        if real.shape[0] < 2:
+            raise ValueError("PeriodicWave needs at least one harmonic "
+                             "(index 0 carries the ignored DC terms)")
+        real.flags.writeable = False
+        imag.flags.writeable = False
+        self.real = real
+        self.imag = imag
+
+
 class OscillatorNode(AudioNode):
     number_of_inputs = 0
     fusible = True
@@ -35,12 +68,52 @@ class OscillatorNode(AudioNode):
         self._start_frame: int | None = None
         self._stop_frame: int | None = None
         self._phase = 0.0  # radians, carried across blocks
+        self._periodic_wave: PeriodicWave | None = None
 
     def start(self, when: float = 0.0) -> None:
         self._start_frame = int(round(when * self.context.sample_rate))
 
     def stop(self, when: float) -> None:
         self._stop_frame = int(round(when * self.context.sample_rate))
+
+    def set_periodic_wave(self, wave: PeriodicWave) -> None:
+        """Switch to the custom waveform ``wave`` (type becomes "custom")."""
+        if not isinstance(wave, PeriodicWave):
+            raise TypeError("set_periodic_wave expects a PeriodicWave")
+        self._periodic_wave = wave
+        self.type = "custom"
+
+    def _custom_series(self, nyquist: float, fundamental: float):
+        """Band-limited (orders, sin_amps, cos_amps) of the custom wave."""
+        wave = self._periodic_wave
+        if wave is None:
+            raise ValueError(
+                'oscillator type "custom" requires set_periodic_wave()')
+        if fundamental <= 0:
+            zero = np.array([0.0])
+            return np.array([1.0]), zero, zero
+        kmax = min(_MAX_HARMONICS, max(1, int(nyquist / fundamental)),
+                   wave.real.shape[0] - 1)
+        orders = np.arange(1, kmax + 1, dtype=np.float64)
+        return orders, wave.imag[1:kmax + 1], wave.real[1:kmax + 1]
+
+    def _synthesize(self, math, phases: np.ndarray, nyquist: float,
+                    fundamental: float) -> np.ndarray:
+        """Evaluate the band-limited series on ``phases`` through the math
+        backend. Elementwise per frame with a fixed per-frame reduction
+        tree, so the result is blocking-invariant: the fused whole-buffer
+        call produces exactly the floats the per-block calls produce."""
+        if self.type == "custom":
+            orders, sin_amps, cos_amps = self._custom_series(nyquist,
+                                                             fundamental)
+            angles = orders[:, None] * phases[None, :]
+            signal = (sin_amps[:, None] * math.sin(angles)).sum(axis=0)
+            return signal + (cos_amps[:, None] * math.cos(angles)).sum(axis=0)
+        orders, amps = self._harmonics(nyquist, fundamental)
+        # one sin through the math backend; the harmonic reduction tree
+        # per frame is identical at any frame count
+        waves = math.sin(orders[:, None] * phases[None, :])
+        return (amps[:, None] * waves).sum(axis=0)
 
     def _harmonics(self, nyquist: float, fundamental: float):
         """(orders, amplitudes) of the band-limited series for self.type."""
@@ -78,10 +151,8 @@ class OscillatorNode(AudioNode):
         phases = self._phase + np.cumsum(inc) - inc  # phase at start of each frame
         self._phase = (self._phase + float(np.sum(inc))) % (2.0 * np.pi)
 
-        orders, amps = self._harmonics(fs / 2.0, float(freq[0]))
         # (harmonics, frames) evaluated in one shot through the math backend
-        waves = math.sin(orders[:, None] * phases[None, :])
-        signal = (amps[:, None] * waves).sum(axis=0)
+        signal = self._synthesize(math, phases, fs / 2.0, float(freq[0]))
 
         frames = frame0 + np.arange(n)
         active = frames >= self._start_frame
@@ -133,15 +204,14 @@ class OscillatorNode(AudioNode):
         phases = ((starts[:, None] + block_cumsum[None, :]) - inc[None, :])
         phases = phases.reshape(-1)[:length]
 
-        orders, amps = self._harmonics(fs / 2.0, float(freq[0]))
-        if jit.jit_active(config):
+        if self.type != "custom" and jit.jit_active(config):
+            orders, amps = self._harmonics(fs / 2.0, float(freq[0]))
             ulp_scale = 1.0 + getattr(math, "ulp_shift", 0) * _ULP
             signal = jit.synth_harmonics(phases, orders, amps, ulp_scale)
         else:
-            # one whole-buffer sin through the math backend; the harmonic
-            # reduction tree per frame is identical at any frame count
-            waves = math.sin(orders[:, None] * phases[None, :])
-            signal = (amps[:, None] * waves).sum(axis=0)
+            # custom waves always take the generic NumPy series (the JIT
+            # kernel only synthesizes sine-phase series)
+            signal = self._synthesize(math, phases, fs / 2.0, float(freq[0]))
 
         frames = np.arange(length)
         active = frames >= self._start_frame

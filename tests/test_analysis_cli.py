@@ -137,3 +137,77 @@ class TestObsReportDispatch:
         bad = tmp_path / "unknown-kind.json"
         bad.write_text(json.dumps(payload))
         assert report_main([str(bad), "--check"]) == 2
+
+
+class TestTablesCli:
+    """`python -m repro.analysis --tables` plus its obs.report dispatch."""
+
+    @pytest.fixture(scope="class")
+    def battery_dataset(self, tmp_path_factory):
+        from repro.vectors import FULL_BATTERY
+        path = tmp_path_factory.mktemp("tables") / "dataset.json"
+        run_study(user_count=40, iterations=6, vectors=FULL_BATTERY,
+                  seed=17, workers=0).save(str(path))
+        return str(path)
+
+    def test_tables_out_is_valid_and_byte_identical(self, battery_dataset,
+                                                    tmp_path):
+        from repro.analysis.tables import validate_tables_report
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert analysis_main([battery_dataset, "--tables",
+                              "--out", str(a)]) == 0
+        assert analysis_main([battery_dataset, "--tables",
+                              "--out", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+        payload = json.loads(a.read_text())
+        assert payload["kind"] == "repro.analysis.tables"
+        assert validate_tables_report(payload) == []
+
+    def test_tables_render_mode(self, battery_dataset, capsys):
+        assert analysis_main([battery_dataset, "--tables", "--render"]) == 0
+        out = capsys.readouterr().out
+        assert "tables report" in out and "additive value" in out
+
+    def test_obs_report_dispatches_on_tables_kind(self, battery_dataset,
+                                                  tmp_path, capsys):
+        out = tmp_path / "tables.json"
+        assert analysis_main([battery_dataset, "--tables",
+                              "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert report_main([str(out), "--check"]) == 0
+        assert capsys.readouterr().out == ""
+        assert report_main([str(out)]) == 0
+        assert "tables report" in capsys.readouterr().out
+
+    def test_obs_report_rejects_bad_schema_version(self, battery_dataset,
+                                                   tmp_path, capsys):
+        """The satellite: --check validates the tables kind's schema
+        version instead of silently accepting any payload."""
+        out = tmp_path / "tables.json"
+        assert analysis_main([battery_dataset, "--tables",
+                              "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        payload["format"] = 99
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(payload))
+        assert report_main([str(bad), "--check"]) == 2
+        assert "format" in capsys.readouterr().err
+
+    def test_unknown_vector_in_dataset_is_a_named_error(self, battery_dataset,
+                                                        tmp_path, capsys):
+        """The satellite: a dataset naming an unregistered vector fails
+        with `error: unknown vector ...`, not a traceback."""
+        payload = json.loads(open(battery_dataset).read())
+        payload["meta"]["vectors"] = list(payload["meta"]["vectors"]) \
+            + ["nope"]
+        payload["series"]["nope"] = payload["series"]["dc"]
+        bad = tmp_path / "unknown-vector.json"
+        bad.write_text(json.dumps(payload))
+        assert analysis_main([str(bad), "--tables"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown vector 'nope'" in err
+        assert "Traceback" not in err
+
+    def test_tables_excludes_shard_modes(self, battery_dataset, capsys):
+        with pytest.raises(SystemExit):
+            analysis_main([battery_dataset, "--tables", "--shard"])

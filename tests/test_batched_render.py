@@ -15,7 +15,7 @@ import pytest
 from repro import RenderCache, run_study
 from repro.platform import AudioStack
 from repro.platform.jitter import sample_path, sample_repertoire
-from repro.vectors import VECTORS, get_vector
+from repro.vectors import AUDIO_VECTORS, FULL_BATTERY, get_vector
 from repro.webaudio.fft import FFT_BACKENDS, get_fft_backend
 
 BACKENDS = sorted(FFT_BACKENDS)
@@ -30,7 +30,7 @@ def _random_paths(rng, count):
 
 class TestBatchedDigestsMatchSerial:
     @pytest.mark.parametrize("backend", BACKENDS)
-    @pytest.mark.parametrize("name", sorted(VECTORS))
+    @pytest.mark.parametrize("name", sorted(AUDIO_VECTORS))
     def test_randomized_paths_every_backend(self, name, backend):
         vector = get_vector(name)
         stack = AudioStack("blink", "ucrt", backend, "blink")
@@ -123,6 +123,14 @@ class TestGroupingNeverChangesTheDataset:
         monkeypatch.setattr(study_mod, "_MAX_BATCH", 2)
         tiny = run_study(cache=RenderCache(), workers=0, **STUDY)
         assert tiny == serial
+
+    def test_full_battery_batched_equals_serial(self):
+        """All 11 vectors — audio and comparator — through the driver:
+        grouping by (vector, stack) must not change a single byte."""
+        kw = dict(user_count=12, iterations=3, vectors=FULL_BATTERY, seed=29)
+        serial = run_study(cache=RenderCache(), workers=0, batched=False, **kw)
+        batched = run_study(cache=RenderCache(), workers=0, **kw)
+        assert batched == serial
 
 
 class TestCacheCrashSafety:

@@ -18,7 +18,7 @@ from repro.obs import Recorder
 from repro.platform import AudioStack
 from repro.platform.jitter import sample_path, sample_repertoire
 from repro.population.cache import _stale_version
-from repro.vectors import VECTORS, get_vector
+from repro.vectors import AUDIO_VECTORS, get_vector
 from repro.webaudio import ENGINE_VERSION, OfflineAudioContext
 from repro.webaudio.config import EngineConfig
 from repro.webaudio.fft import FFT_BACKENDS
@@ -43,7 +43,7 @@ class TestFusedMatchesQuantum:
     """Every digest the fused path produces equals the quantum loop's."""
 
     @pytest.mark.parametrize("backend", BACKENDS)
-    @pytest.mark.parametrize("name", sorted(VECTORS))
+    @pytest.mark.parametrize("name", sorted(AUDIO_VECTORS))
     def test_batched_digests_identical(self, name, backend, monkeypatch):
         vector = get_vector(name)
         stack = AudioStack("blink", "ucrt", backend, "blink")

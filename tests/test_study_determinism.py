@@ -64,7 +64,7 @@ def test_dataset_round_trips_through_json(tmp_path):
 
 def test_unknown_vector_rejected_before_sampling():
     with pytest.raises(KeyError):
-        run_study(user_count=5, vectors=("dc", "canvas"), workers=0)
+        run_study(user_count=5, vectors=("dc", "nope"), workers=0)
 
 
 def test_invalid_user_count():

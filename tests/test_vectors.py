@@ -3,25 +3,46 @@ import numpy as np
 import pytest
 
 from repro.platform import AudioStack, REFERENCE_PATH
-from repro.vectors import VECTORS, get_vector
+from repro.vectors import (AUDIO_VECTORS, COMPARATOR_VECTORS, VECTORS,
+                           UnknownVectorError, get_vector, register)
 
 STACK = AudioStack("blink", "ucrt", "radix2", "blink")
 OTHER = AudioStack("webkit", "apple-libm", "bluestein", "webkit", 48000)
 
 
 def test_registry_contents():
-    assert set(VECTORS) == {"dc", "fft", "hybrid"}
-    with pytest.raises(KeyError):
-        get_vector("am")
+    assert set(AUDIO_VECTORS) == {"dc", "fft", "hybrid", "custom", "merged",
+                                  "am", "fm"}
+    assert set(COMPARATOR_VECTORS) == {"mathjs", "canvas", "fonts",
+                                       "useragent"}
+    assert set(VECTORS) == set(AUDIO_VECTORS) | set(COMPARATOR_VECTORS)
+    for name in AUDIO_VECTORS:
+        assert get_vector(name).kind == "audio"
+    for name in COMPARATOR_VECTORS:
+        assert get_vector(name).kind == "comparator"
 
 
-@pytest.mark.parametrize("name", sorted(VECTORS))
+def test_unknown_vector_is_typed_and_a_keyerror():
+    with pytest.raises(UnknownVectorError) as info:
+        get_vector("nope")
+    assert "nope" in str(info.value) and "dc" in str(info.value)
+    with pytest.raises(KeyError):  # backward-compat contract
+        get_vector("nope")
+
+
+def test_register_refuses_duplicate_names():
+    from repro.vectors.dc import DCVector
+    with pytest.raises(ValueError, match="already registered"):
+        register(DCVector())
+
+
+@pytest.mark.parametrize("name", sorted(AUDIO_VECTORS))
 def test_render_is_pure(name):
     vector = get_vector(name)
     assert vector.render(STACK, None) == vector.render(STACK, None)
 
 
-@pytest.mark.parametrize("name", sorted(VECTORS))
+@pytest.mark.parametrize("name", sorted(AUDIO_VECTORS))
 def test_render_separates_stacks(name):
     vector = get_vector(name)
     assert vector.render(STACK, None) != vector.render(OTHER, None)
@@ -33,13 +54,14 @@ def test_efp_is_md5_hex():
     int(efp, 16)
 
 
-def test_dc_ignores_jitter_path():
-    dc = get_vector("dc")
-    assert dc.canonical_path("t3.d1.m1.p1") == "-"
-    assert dc.render(STACK, "t3.d1.m1.p1") == dc.render(STACK, None)
+@pytest.mark.parametrize("name", ["dc", "custom"])
+def test_analyser_free_vectors_ignore_jitter_path(name):
+    vector = get_vector(name)
+    assert vector.canonical_path("t3.d1.m1.p1") == "-"
+    assert vector.render(STACK, "t3.d1.m1.p1") == vector.render(STACK, None)
 
 
-@pytest.mark.parametrize("name", ["fft", "hybrid"])
+@pytest.mark.parametrize("name", ["fft", "hybrid", "merged", "am", "fm"])
 def test_analyser_vectors_feel_jitter(name):
     vector = get_vector(name)
     ref = vector.render(STACK, REFERENCE_PATH)
@@ -65,3 +87,56 @@ def test_fft_family_shares_fft_sensitivity_dc_does_not():
     b = AudioStack("blink", "ucrt", "splitradix", "blink")
     assert get_vector("dc").render(a, None) == get_vector("dc").render(b, None)
     assert get_vector("fft").render(a, None) != get_vector("fft").render(b, None)
+
+
+def test_new_sum_vectors_share_dc_fft_blindness():
+    """custom sums time-domain samples like dc, so FFT-only stack changes
+    cannot separate it; the new analyser vectors must separate."""
+    a = AudioStack("blink", "ucrt", "radix2", "blink")
+    b = AudioStack("blink", "ucrt", "splitradix", "blink")
+    assert get_vector("custom").render(a, None) \
+        == get_vector("custom").render(b, None)
+    for name in ("merged", "am", "fm"):
+        assert get_vector(name).render(a, None) \
+            != get_vector(name).render(b, None)
+
+
+def test_comparator_vectors_render_device_stacks():
+    """Comparators fingerprint their own per-device stacks, purely and
+    distinctly across different identities."""
+    from repro.population.sampler import sample_population
+    devices = sample_population(30, seed=5)
+    for name in COMPARATOR_VECTORS:
+        vector = get_vector(name)
+        stacks = [vector.stack_of(d) for d in devices]
+        efps = [vector.render(s, vector.canonical_path(None)) for s in stacks]
+        assert efps == [vector.render(s, vector.canonical_path(None))
+                        for s in stacks]  # pure
+        assert all(len(e) == 32 for e in efps)
+        # same cache key <=> same eFP (the render is a function of the stack)
+        by_key = {}
+        for stack, efp in zip(stacks, efps):
+            assert by_key.setdefault(stack.cache_key(), efp) == efp
+        assert len(set(efps)) == len(by_key) > 1
+
+
+def test_comparator_stack_of_rejects_bare_devices():
+    """Hand-built audio-only devices carry no comparator identities; the
+    comparators must say so instead of crashing downstream."""
+    from repro.population.device import Device
+    bare = Device(user_id="u0", stack=STACK, os="Windows", browser="Chrome",
+                  load=0.1)
+    for name in ("canvas", "fonts", "useragent"):
+        with pytest.raises(ValueError, match="sampler-built"):
+            get_vector(name).stack_of(bare)
+    # mathjs only needs the audio stack's math backend
+    assert get_vector("mathjs").stack_of(bare).cache_key() == "mathjs|ucrt"
+
+
+def test_mathjs_separates_math_backends_only():
+    vector = get_vector("mathjs")
+    from repro.vectors.mathjs import MathProbe
+    a = vector.render(MathProbe("ucrt"), "-")
+    b = vector.render(MathProbe("glibc"), "-")
+    c = vector.render(MathProbe("ucrt"), "-")
+    assert a != b and a == c
