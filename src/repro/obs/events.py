@@ -73,6 +73,13 @@ EVENT_KINDS = frozenset({
     "render.batch", "render.class",
     # sharded studies
     "shard.start", "shard.end", "shard.resume", "shard.quarantine",
+    # online matching service (repro.service)
+    "service.start", "service.stop",
+    "ingest.batch", "ingest.shed",
+    "lookup.deadline_miss", "lookup.degraded",
+    "breaker.open", "breaker.half_open", "breaker.close",
+    "wal.torn_tail", "snapshot.write", "snapshot.corrupt_quarantine",
+    "replay.start", "replay.end",
 })
 
 #: reserved top-level record fields a payload may not shadow

@@ -44,6 +44,7 @@ BASELINES = {
     "resilience": "BENCH_resilience.json",
     "bench_shard_scale": "BENCH_shard_scale.json",
     "bench_tables": "BENCH_tables.json",
+    "bench_service": "BENCH_service.json",
 }
 
 #: watched metrics: benchmark -> [(dotted path, direction, rel tolerance)]
@@ -86,6 +87,16 @@ SPECS = {
         ("gates.additive_min_delta_pct", "higher", 0.65),
         ("gates.match_score_min_s2", "higher", 0.05),
         ("gates.dc_over_mathjs_entropy", "higher", 0.25),
+    ],
+    # service latencies at smoke scale are microseconds-noisy; the
+    # watched set is the sustained/replay throughputs plus the overload
+    # p99 bound (wide band — it guards the "p99 exploded under load"
+    # step function, not scheduler jitter)
+    "bench_service": [
+        ("sustained.ingest_visits_per_s", "higher", 0.60),
+        ("sustained.lookups_per_s", "higher", 0.60),
+        ("overload.lookup_p99_ms", "lower", 4.00),
+        ("recovery.replay_visits_per_s", "higher", 0.60),
     ],
 }
 

@@ -5,8 +5,11 @@ Supervision model (one loop, four recovery paths):
 
 * **Individual submission + per-job deadlines.** Jobs are submitted one
   future at a time (bounded in-flight backlog), each stamped with a
-  wall-clock deadline. ``map`` offers neither; with it, one bad job
-  aborts the whole iterator.
+  deadline on the supervisor's monotonic clock — every deadline and
+  backoff instant here flows through ``self._clock`` (``time.monotonic``
+  by default, injectable for tests), never ``time.time``, so a stepped
+  wall clock cannot fire deadlines early. ``map`` offers neither; with
+  it, one bad job aborts the whole iterator.
 * **Retry with capped exponential backoff.** A failed job re-enters the
   queue after a seed-deterministic jittered delay (``RetryPolicy``);
   every re-submission spends the run-wide ``RetryBudget``, so a

@@ -3,7 +3,9 @@
 A ``FaultPlan`` is a seed-deterministic description of *which* render
 class keys misbehave and *how*: worker crash (``os._exit`` mid-render),
 hang (sleep past the supervisor's deadline), corrupted return value,
-render delay (chaos pacing), or a torn checkpoint write. Plans are
+render delay (chaos pacing), a torn checkpoint write — plus the service
+fault points (``repro.service``): a WAL append torn mid-record, a
+snapshot writer crashing mid-write, and a slow ingest consumer. Plans are
 env-gated: ``run_study`` and its pool workers consult ``$REPRO_FAULTS``
 (a path to a saved plan) on each render, so production runs pay one env
 lookup and nothing else, while chaos tests flip faults on without
@@ -39,7 +41,17 @@ from .errors import SimulatedWorkerCrash
 
 ENV_VAR = "REPRO_FAULTS"
 
-FAULT_KINDS = ("crash", "hang", "corrupt", "delay", "torn_checkpoint")
+FAULT_KINDS = ("crash", "hang", "corrupt", "delay", "torn_checkpoint",
+               # service fault points (repro.service): a WAL append torn
+               # mid-record, a snapshot writer crashing mid-write, and a
+               # consumer that drains its ingest queue too slowly
+               "torn_wal", "crashed_snapshot", "slow_consumer")
+
+#: the selection keys the service fault points fire under — singleton
+#: subsystems, so plans target them with ``keys=`` rather than a fraction
+WAL_KEY = "wal"
+SNAPSHOT_KEY = "snapshot"
+CONSUMER_KEY = "consumer"
 
 #: what a corrupted worker return looks like — deliberately not a valid
 #: 32-hex eFP digest, so result validation catches it
@@ -137,12 +149,15 @@ class FaultPlan:
         return False
 
     # -- firing --------------------------------------------------------------
+    _RENDER_KINDS = frozenset({"crash", "hang", "corrupt", "delay"})
+
     def fire_render_fault(self, key: str) -> bool:
         """Run crash/hang/delay faults for one render of ``key``; return
         True when the render's result must be corrupted."""
         corrupt = False
         for index, fault in enumerate(self.faults):
-            if fault.kind == "torn_checkpoint" or not self._selected(fault, key):
+            if fault.kind not in self._RENDER_KINDS \
+                    or not self._selected(fault, key):
                 continue
             if not self._claim(index, fault, key):
                 continue
@@ -170,6 +185,53 @@ class FaultPlan:
                 fh.write(text[:max(1, len(text) // 3)])
             return True
         return False
+
+    # -- service fault points (repro.service) --------------------------------
+    def fire_torn_wal(self, fh, line: str) -> bool:
+        """If a torn-WAL fault is due, write a truncated fragment of
+        ``line`` to the open WAL handle — exactly the bytes a SIGKILL
+        landing mid-append would leave — and tell the caller to die
+        instead of completing the append."""
+        for index, fault in enumerate(self.faults):
+            if fault.kind != "torn_wal" or not self._selected(fault, WAL_KEY):
+                continue
+            if not self._claim(index, fault, WAL_KEY):
+                continue
+            fh.write(line[:max(1, len(line) // 2)])
+            fh.flush()
+            return True
+        return False
+
+    def fire_crashed_snapshot(self, path: str, text: str) -> bool:
+        """If a crashed-snapshot fault is due, leave a truncated
+        (non-atomic, invalid-JSON) file at ``path`` — what a snapshot
+        writer dying mid-write through a naive writer would leave — and
+        tell the caller to skip the real write."""
+        for index, fault in enumerate(self.faults):
+            if fault.kind != "crashed_snapshot" \
+                    or not self._selected(fault, SNAPSHOT_KEY):
+                continue
+            if not self._claim(index, fault, SNAPSHOT_KEY):
+                continue
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text[:max(1, len(text) // 3)])
+            return True
+        return False
+
+    def fire_slow_consumer(self) -> float:
+        """Seconds the service's ingest consumer must stall before
+        draining its next batch; 0.0 when no slow-consumer fault is due.
+        The delay is returned (not slept here) so the async consumer can
+        await it without blocking the event loop."""
+        total = 0.0
+        for index, fault in enumerate(self.faults):
+            if fault.kind != "slow_consumer" \
+                    or not self._selected(fault, CONSUMER_KEY):
+                continue
+            if not self._claim(index, fault, CONSUMER_KEY):
+                continue
+            total += fault.seconds
+        return total
 
 
 # -- the env-gated hook (the only thing hot paths touch) ----------------------
@@ -201,3 +263,24 @@ def torn_checkpoint(path: str, text: str) -> bool:
     at ``path`` and the real write must be skipped."""
     plan = active_plan()
     return plan.fire_torn_checkpoint(path, text) if plan is not None else False
+
+
+def torn_wal(fh, line: str) -> bool:
+    """Hook called by the service WAL per append. True = a torn fragment
+    was written and the caller must simulate its own death."""
+    plan = active_plan()
+    return plan.fire_torn_wal(fh, line) if plan is not None else False
+
+
+def crashed_snapshot(path: str, text: str) -> bool:
+    """Hook called by the service snapshot writer. True = a torn file was
+    left at ``path`` and the real write must be skipped."""
+    plan = active_plan()
+    return plan.fire_crashed_snapshot(path, text) if plan is not None else False
+
+
+def slow_consumer() -> float:
+    """Hook called by the service ingest consumer per batch: seconds to
+    stall before draining (0.0 = no fault due)."""
+    plan = active_plan()
+    return plan.fire_slow_consumer() if plan is not None else 0.0

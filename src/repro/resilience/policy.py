@@ -36,8 +36,11 @@ class RetryPolicy:
     max_delay_s: float = 2.0
     backoff_factor: float = 2.0
     jitter_fraction: float = 0.25
-    #: per-job wall-clock deadline once submitted to the pool; a job still
-    #: running past it is presumed hung and its pool is torn down
+    #: per-job deadline once submitted to the pool, measured on the
+    #: supervisor's *monotonic* clock (``time.monotonic``; never wall
+    #: time, so an NTP step or DST jump cannot fire deadlines early or
+    #: stall retries); a job still running past it is presumed hung and
+    #: its pool is torn down
     job_deadline_s: float = 60.0
     #: pool rebuilds tolerated before degrading to inline rendering
     max_pool_rebuilds: int = 3

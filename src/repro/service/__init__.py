@@ -1,0 +1,64 @@
+"""repro.service — the fault-tolerant online fingerprint-matching
+service.
+
+The batch pipeline answers "how identifiable are these users?" after
+the fact; this package answers it *live*: visits stream in, identities
+collate incrementally (bit-identical to the batch collation — pinned by
+test), and lookups return "which identity, with what anonymity set?"
+under explicit robustness contracts: bounded queues with typed load
+shedding, monotonic deadlines, a circuit breaker that degrades to
+last-snapshot answers instead of erroring, and WAL + snapshot
+durability that replays a SIGKILL'd service to byte-identical state.
+
+Layout: ``engine`` (asyncio service), ``identity`` (incremental
+union-find), ``state`` (the shared apply path), ``wal`` (durability),
+``traffic`` (synthetic visits incl. spoofer/bot classes), ``errors``
+(typed responses). ``python -m repro.service`` drives it from the CLI.
+"""
+
+from .engine import CircuitBreaker, FingerprintService, ServiceConfig  # noqa: F401
+from .errors import (  # noqa: F401
+    SHED_DEADLINE,
+    SHED_QUEUE_FULL,
+    SHED_REASONS,
+    SHED_STOPPING,
+    IngestAccepted,
+    IngestShed,
+    LookupResult,
+    MalformedVisitError,
+    ServiceCrashed,
+    ServiceStopped,
+    UnknownVectorError,
+)
+from .identity import IncrementalCollator  # noqa: F401
+from .state import ServiceState  # noqa: F401
+from .traffic import BENIGN, BOT, SPOOFER, Visit, bot_efp, visits_from_dataset  # noqa: F401
+from .wal import SnapshotStore, WriteAheadLog, read_wal  # noqa: F401
+
+__all__ = [
+    "FingerprintService",
+    "ServiceConfig",
+    "CircuitBreaker",
+    "ServiceState",
+    "IncrementalCollator",
+    "WriteAheadLog",
+    "SnapshotStore",
+    "read_wal",
+    "Visit",
+    "visits_from_dataset",
+    "bot_efp",
+    "BENIGN",
+    "SPOOFER",
+    "BOT",
+    "IngestAccepted",
+    "IngestShed",
+    "LookupResult",
+    "MalformedVisitError",
+    "ServiceCrashed",
+    "ServiceStopped",
+    "UnknownVectorError",
+    "SHED_QUEUE_FULL",
+    "SHED_DEADLINE",
+    "SHED_STOPPING",
+    "SHED_REASONS",
+]

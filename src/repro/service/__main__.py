@@ -1,0 +1,115 @@
+"""CLI driver: run the matching service over a synthetic visit stream.
+
+Ingest mode (default) renders a seeded study population inline, expands
+it into the deterministic visit stream (optionally laced with spoofer /
+bot traffic), and plays it through a ``FingerprintService`` anchored at
+``--dir`` — WAL, snapshots and all. Because the stream is
+seed-deterministic and visit ids deduplicate, *re-running the same
+command after a SIGKILL* resumes from the WAL, re-ingests the stream
+(already-applied visits ack as duplicates), and lands on byte-identical
+final state — the property the CI chaos job checks with ``cmp``:
+
+    python -m repro.service --dir /tmp/svc --users 12 --iterations 6 \\
+        --state-out /tmp/svc-state.json
+    # SIGKILL it mid-run, then run the same command again: the
+    # state written the second time matches an uninterrupted run's.
+
+Replay mode (``--replay``) performs recovery only — load snapshot,
+replay WAL, write the canonical state bytes — touching nothing:
+
+    python -m repro.service --dir /tmp/svc --replay --state-out out.json
+"""
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from ..io import atomic_write_text
+from ..population import run_study
+from .engine import FingerprintService, ServiceConfig
+from .errors import IngestShed
+from .traffic import visits_from_dataset
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Run the online fingerprint-matching service over a "
+                    "deterministic synthetic visit stream.")
+    parser.add_argument("--dir", required=True,
+                        help="service state directory (WAL + snapshots)")
+    parser.add_argument("--replay", action="store_true",
+                        help="recovery only: replay WAL onto the last "
+                             "snapshot and write the canonical state")
+    parser.add_argument("--users", type=int, default=12)
+    parser.add_argument("--iterations", type=int, default=6)
+    parser.add_argument("--vectors", nargs="+", default=["dc", "fft"])
+    parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument("--spoof", type=float, default=0.0,
+                        help="fraction of users spoofing their context")
+    parser.add_argument("--bot", type=float, default=0.0,
+                        help="fraction of users emitting headless eFPs")
+    parser.add_argument("--pace", type=float, default=0.0,
+                        help="sleep this many seconds between visits "
+                             "(gives a chaos harness time to SIGKILL)")
+    parser.add_argument("--snapshot-every", type=int, default=64)
+    parser.add_argument("--state-out", default=None,
+                        help="write canonical identity-state bytes here")
+    parser.add_argument("--summary-out", default=None,
+                        help="write the service summary JSON here")
+    return parser
+
+
+async def _ingest_stream(service: FingerprintService, visits,
+                         pace: float) -> dict:
+    await service.start()
+    sheds = 0
+    for visit in visits:
+        result = await service.ingest(visit)
+        if isinstance(result, IngestShed):
+            sheds += 1
+        if pace > 0:
+            await asyncio.sleep(pace)
+    await service.stop()
+    return {"visits": len(visits), "sheds": sheds}
+
+
+def _write_outputs(service: FingerprintService, summary: dict,
+                   state_out, summary_out) -> None:
+    if state_out:
+        atomic_write_text(state_out, service.state_bytes().decode("ascii"))
+    if summary_out:
+        atomic_write_text(summary_out,
+                          json.dumps(summary, indent=2, sort_keys=True) + "\n")
+
+
+def main(argv=None) -> int:
+    args = _parser().parse_args(argv)
+    config = ServiceConfig(snapshot_every=args.snapshot_every)
+    service = FingerprintService(args.dir, tuple(args.vectors), config=config)
+
+    if args.replay:
+        service.recover()
+        summary = service.summary()
+        _write_outputs(service, summary, args.state_out, args.summary_out)
+        print(json.dumps(summary, sort_keys=True))
+        return 0
+
+    dataset = run_study(args.users, args.iterations,
+                        vectors=tuple(args.vectors), seed=args.seed,
+                        workers=0)
+    visits = visits_from_dataset(dataset, seed=args.seed,
+                                 spoof_fraction=args.spoof,
+                                 bot_fraction=args.bot)
+    stream = asyncio.run(_ingest_stream(service, visits, args.pace))
+    summary = service.summary()
+    summary["stream"] = stream
+    _write_outputs(service, summary, args.state_out, args.summary_out)
+    print(json.dumps(summary, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""Typed responses and errors of the matching service's front door.
+
+Two disjoint vocabularies, deliberately kept apart:
+
+* **Errors raise.** A malformed request — wrong shape, bad eFP format,
+  a vector the service does not serve — is the *caller's* bug and
+  raises a named exception before the request touches the queue, the
+  WAL, or any state. Unknown vector names reuse the registry's
+  ``UnknownVectorError`` so service callers and ``run_study`` callers
+  catch the same type for the same mistake.
+
+* **Overload answers.** A well-formed request the service cannot honor
+  right now — a full ingest queue, a blown deadline — gets a *typed
+  response object* naming the reason. Load shedding is part of the
+  service's contract, not an exception, and never a silent drop: every
+  accepted request is eventually answered with exactly one of the types
+  below.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..vectors.registry import UnknownVectorError  # noqa: F401  (re-export)
+
+
+class MalformedVisitError(ValueError):
+    """A visit payload failed front-door validation; names the field."""
+
+    def __init__(self, field_name: str, reason: str):
+        self.field = field_name
+        self.reason = reason
+        super().__init__(f"malformed visit: {field_name} {reason}")
+
+
+class ServiceCrashed(RuntimeError):
+    """An injected service fault (torn WAL append) simulating the
+    process dying mid-write: the on-disk bytes are exactly what a
+    SIGKILL would leave, and chaos tests treat this exception as the
+    kill signal. Never raised outside fault injection."""
+
+
+class ServiceStopped(RuntimeError):
+    """A request arrived at a service that has been stopped."""
+
+
+# -- shed reasons (the closed vocabulary of typed refusals) -------------------
+SHED_QUEUE_FULL = "queue_full"
+SHED_DEADLINE = "deadline_exceeded"
+SHED_STOPPING = "stopping"
+SHED_REASONS = frozenset({SHED_QUEUE_FULL, SHED_DEADLINE, SHED_STOPPING})
+
+
+@dataclass(frozen=True)
+class IngestAccepted:
+    """A visit was durably logged and collated.
+
+    ``identities`` maps each served vector present in the visit to the
+    canonical collated identity (the component's minimum interned eFP
+    id); ``anonymity_sets`` maps the same vectors to the number of
+    distinct users currently sharing that identity. ``detections`` names
+    any anti-fraud signals the visit tripped (see ``traffic``).
+    """
+
+    visit_id: str
+    user: str
+    duplicate: bool = False
+    identities: dict = field(default_factory=dict)
+    anonymity_sets: dict = field(default_factory=dict)
+    detections: tuple = ()
+    shed: bool = False
+
+
+@dataclass(frozen=True)
+class IngestShed:
+    """A visit the service refused under load — typed, never silent.
+
+    ``reason`` is one of ``SHED_REASONS``. A shed visit was NOT logged
+    or collated; the caller may retry (re-sending a visit that *was*
+    logged is safe — visit ids deduplicate)."""
+
+    visit_id: str
+    reason: str
+    shed: bool = True
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """The answer to "which identity is this user, how anonymous?".
+
+    ``degraded=True`` means the answer came from the last durable
+    snapshot instead of live state (circuit breaker open, or this
+    request's own deadline was already blown): the identity and
+    anonymity-set context may be stale by ``stale_by_visits`` applied
+    visits, but the request is *answered*, not errored. ``found=False``
+    means the user has never been observed (identities empty)."""
+
+    user: str
+    found: bool
+    identities: dict = field(default_factory=dict)
+    anonymity_sets: dict = field(default_factory=dict)
+    degraded: bool = False
+    deadline_missed: bool = False
+    stale_by_visits: int = 0

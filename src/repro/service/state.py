@@ -1,0 +1,163 @@
+"""ServiceState: the one apply path live ingest and WAL replay share.
+
+Everything the service knows is a deterministic fold over the stream of
+accepted visit records: per-vector ``IncrementalCollator`` graphs, the
+set of visit ids already applied (at-least-once delivery deduplicates
+here), each user's first-bound claimed context (the reference the
+spoofing-inconsistency check compares against), and detection counters.
+
+Because replay calls the same ``apply`` on the same records in the same
+order, a recovered service's ``canonical_bytes()`` is byte-identical to
+an uninterrupted run's — that is the whole crash-recovery contract, and
+the chaos tests compare exactly these bytes.
+"""
+from __future__ import annotations
+
+import json
+
+from .identity import IncrementalCollator
+from .traffic import bot_efp
+
+STATE_KIND = "repro.service.state"
+STATE_FORMAT = 1
+
+#: detection names surfaced on ingest responses (see ``traffic``)
+DETECT_SPOOF = "spoof_inconsistency"
+DETECT_BOT = "bot_signature"
+
+
+class ServiceState:
+    """The collated world as of the last applied visit."""
+
+    __slots__ = ("vectors", "collators", "seen", "contexts", "detections",
+                 "applied")
+
+    def __init__(self, vectors):
+        self.vectors = tuple(vectors)
+        self.collators = {v: IncrementalCollator(v) for v in self.vectors}
+        self.seen: dict[str, None] = {}          # applied visit ids, in order
+        self.contexts: dict[str, list] = {}      # user -> first [os, browser]
+        self.detections = {DETECT_SPOOF: 0, DETECT_BOT: 0}
+        self.applied = 0
+
+    # -- the single mutation path --------------------------------------------
+    def apply(self, record: dict):
+        """Fold one WAL record in (or answer a duplicate from current
+        state without re-applying).
+
+        Returns ``(identities, anonymity_sets, detections, duplicate)``
+        — exactly the fields an ``IngestAccepted`` response carries.
+        """
+        visit_id = record["visit_id"]
+        user = record["user"]
+        if visit_id in self.seen:
+            return (self._user_identities(user, record["efps"]),
+                    self._user_anonymity(user, record["efps"]), (), True)
+
+        detections = []
+        claim = [record["os"], record["browser"]]
+        bound = self.contexts.get(user)
+        if bound is None:
+            self.contexts[user] = claim
+        elif bound != claim:
+            detections.append(DETECT_SPOOF)
+            self.detections[DETECT_SPOOF] += 1
+
+        identities: dict[str, int] = {}
+        anonymity: dict[str, int] = {}
+        bot = False
+        efps = record["efps"]
+        for vector in self.vectors:
+            efp = efps.get(vector)
+            if efp is None:
+                continue
+            if efp == bot_efp(vector):
+                bot = True
+            collator = self.collators[vector]
+            identities[vector] = collator.observe(user, efp)
+            anonymity[vector] = collator.anonymity_set_size(user)
+        if bot:
+            detections.append(DETECT_BOT)
+            self.detections[DETECT_BOT] += 1
+
+        self.seen[visit_id] = None
+        self.applied += 1
+        return identities, anonymity, tuple(detections), False
+
+    # -- read-only views ------------------------------------------------------
+    def _user_identities(self, user: str, efps: dict) -> dict:
+        out = {}
+        for vector in self.vectors:
+            if vector not in efps:
+                continue
+            identity = self.collators[vector].identity(user)
+            if identity is not None:
+                out[vector] = identity
+        return out
+
+    def _user_anonymity(self, user: str, efps: dict) -> dict:
+        return {vector: self.collators[vector].anonymity_set_size(user)
+                for vector in self.vectors
+                if vector in efps
+                and self.collators[vector].identity(user) is not None}
+
+    def lookup(self, user: str):
+        """``(found, identities, anonymity_sets)`` across all vectors."""
+        identities: dict[str, int] = {}
+        anonymity: dict[str, int] = {}
+        for vector in self.vectors:
+            collator = self.collators[vector]
+            identity = collator.identity(user)
+            if identity is None:
+                continue
+            identities[vector] = identity
+            anonymity[vector] = collator.anonymity_set_size(user)
+        return bool(identities), identities, anonymity
+
+    def users(self) -> list[str]:
+        """Every user observed on any vector, first-appearance order."""
+        seen: dict[str, None] = {}
+        for vector in self.vectors:
+            for user in self.collators[vector].users():
+                seen.setdefault(user, None)
+        return list(seen)
+
+    # -- canonical serialization ----------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "kind": STATE_KIND,
+            "format": STATE_FORMAT,
+            "vectors": list(self.vectors),
+            "collators": {v: self.collators[v].state_dict()
+                          for v in self.vectors},
+            "seen": list(self.seen),
+            "contexts": {u: list(c) for u, c in self.contexts.items()},
+            "detections": dict(self.detections),
+            "applied": self.applied,
+        }
+
+    def canonical_bytes(self) -> bytes:
+        """The byte-identity surface every chaos/replay test compares."""
+        return (json.dumps(self.state_dict(), sort_keys=True) + "\n").encode()
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ServiceState":
+        if not isinstance(state, dict) or state.get("kind") != STATE_KIND:
+            raise ValueError(
+                f"not a service state payload (kind "
+                f"{state.get('kind')!r}, expected {STATE_KIND!r})")
+        if state.get("format") != STATE_FORMAT:
+            raise ValueError(
+                f"service state format {state.get('format')!r} not "
+                f"supported (expected {STATE_FORMAT})")
+        out = cls(state["vectors"])
+        for vector in out.vectors:
+            out.collators[vector] = IncrementalCollator.from_state(
+                state["collators"][vector])
+        for visit_id in state["seen"]:
+            out.seen[visit_id] = None
+        out.contexts = {u: list(c) for u, c in state["contexts"].items()}
+        out.detections = {DETECT_SPOOF: int(state["detections"][DETECT_SPOOF]),
+                          DETECT_BOT: int(state["detections"][DETECT_BOT])}
+        out.applied = int(state["applied"])
+        return out

@@ -1,0 +1,139 @@
+"""Synthetic service traffic: repeat visits, spoofers, bots.
+
+The service's workload is the paper's identification problem restated
+as traffic: repeat visits from fickle eFPs that must collate to the
+same user. This module turns a ``StudyDataset`` (already the per-user,
+per-iteration eFP grid) into a visit stream, then layers on the two
+anti-fraud classes the fingerprinting-SDK literature serves them with
+(SNIPPETS.md, Snippets 2–3):
+
+* **Spoofers** (spoofing-inconsistency): a fraudster imitating another
+  environment must keep *every* claimed surface consistent — and
+  doesn't. Synthetic spoofers waver: they claim their true OS/browser
+  context on even visits and a decoy on odd ones, so their claimed
+  context disagrees with the context already bound to their own visit
+  history. The service surfaces this as a ``spoof_inconsistency``
+  detection.
+* **Bots** (headless signatures): headless/virtualized environments
+  render a characteristic degenerate fingerprint (no real audio stack
+  behind the API). Synthetic bots emit the known per-vector headless
+  eFP constant — format-valid, so it passes the front door, but
+  recognized and surfaced as a ``bot_signature`` detection.
+
+Class assignment is seed-deterministic per user (one SeedSequence draw
+per user index), so the same arguments always produce the same stream —
+the property every replay/chaos test and the benchmark lean on.
+"""
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+_TRAFFIC_STREAM = 0x5E2  # disjoint from the sampler's and the study's
+
+#: the per-vector headless render constant a bot emits (format-valid
+#: 32-hex, deterministic, never produced by a real render path)
+BOT_EFPS = {}
+
+
+def bot_efp(vector: str) -> str:
+    efp = BOT_EFPS.get(vector)
+    if efp is None:
+        efp = BOT_EFPS[vector] = hashlib.md5(
+            f"headless|{vector}".encode()).hexdigest()
+    return efp
+
+
+#: decoy (os, browser) contexts a spoofer claims on odd visits
+_DECOYS = (("windows", "chrome"), ("macos", "safari"), ("linux", "firefox"),
+           ("android", "chrome"))
+
+#: traffic class names (carried on Visit.klass for test/bench accounting)
+BENIGN, SPOOFER, BOT = "benign", "spoofer", "bot"
+
+
+@dataclass(frozen=True)
+class Visit:
+    """One arrival at the service's front door."""
+
+    visit_id: str
+    user: str                       # the user-claimed account/session key
+    os: str                         # user-claimed context
+    browser: str
+    efps: dict = field(default_factory=dict)   # vector -> eFP draw
+    klass: str = BENIGN             # ground-truth traffic class (synthetic)
+
+    def to_record(self) -> dict:
+        """The WAL record shape (ground-truth ``klass`` excluded: the
+        service must *detect*, not be told)."""
+        return {"visit_id": self.visit_id, "user": self.user,
+                "os": self.os, "browser": self.browser,
+                "efps": dict(self.efps)}
+
+
+def _decoy_for(os_name: str, browser: str, pick: int) -> tuple[str, str]:
+    for step in range(len(_DECOYS)):
+        decoy = _DECOYS[(pick + step) % len(_DECOYS)]
+        if decoy != (os_name, browser):
+            return decoy
+    return _DECOYS[0]  # unreachable: _DECOYS holds > 1 distinct pairs
+
+
+def visits_from_dataset(dataset, *, seed: int = 0,
+                        spoof_fraction: float = 0.0,
+                        bot_fraction: float = 0.0,
+                        interleave: bool = False) -> list[Visit]:
+    """Expand a study dataset into a deterministic visit stream.
+
+    Default order is the dataset's canonical order (user by user,
+    iteration by iteration) — the order under which the service's final
+    collated assignment is byte-identical to the batch analysis.
+    ``interleave=True`` emits iteration-major order instead (every
+    user's visit 0, then every user's visit 1, …) — same identities by
+    order-independence of the collation graph, exercised by tests.
+
+    ``spoof_fraction`` / ``bot_fraction`` assign each user to a traffic
+    class with one seed-deterministic draw (spoofer wins ties); bots
+    replace every eFP with the per-vector headless constant, spoofers
+    claim a decoy context on odd iterations.
+    """
+    if spoof_fraction < 0 or bot_fraction < 0 \
+            or spoof_fraction + bot_fraction > 1:
+        raise ValueError(
+            f"spoof_fraction + bot_fraction must lie in [0, 1], got "
+            f"{spoof_fraction} + {bot_fraction}")
+    users = dataset.users
+    vectors = tuple(dataset.vectors)
+    per_user: list[list[Visit]] = []
+    for index, user in enumerate(users):
+        uid, os_name, browser = user["id"], user["os"], user["browser"]
+        rng = np.random.default_rng(
+            np.random.SeedSequence([seed, _TRAFFIC_STREAM, index]))
+        draw = rng.random()
+        decoy_pick = int(rng.integers(len(_DECOYS)))
+        if draw < spoof_fraction:
+            klass = SPOOFER
+        elif draw < spoof_fraction + bot_fraction:
+            klass = BOT
+        else:
+            klass = BENIGN
+        decoy = _decoy_for(os_name, browser, decoy_pick)
+        visits = []
+        for it in range(dataset.iterations):
+            if klass == BOT:
+                efps = {v: bot_efp(v) for v in vectors}
+            else:
+                efps = {v: dataset.series[v][uid][it] for v in vectors}
+            claim_os, claim_browser = (decoy if klass == SPOOFER and it % 2
+                                       else (os_name, browser))
+            visits.append(Visit(
+                visit_id=f"{uid}#{it:04d}", user=uid,
+                os=claim_os, browser=claim_browser,
+                efps=efps, klass=klass))
+        per_user.append(visits)
+    if not interleave:
+        return [v for visits in per_user for v in visits]
+    return [visits[it] for it in range(dataset.iterations)
+            for visits in per_user]

@@ -151,3 +151,69 @@ class TestCachePersist:
         monkeypatch.undo()
         assert RenderCache(disk_path=path).get("k") == "old"
         assert os.listdir(tmp_path) == ["cache.json"]
+
+
+class TestDirectoryFsync:
+    """The rename durability gap (satellite): after ``os.replace`` the
+    new name lives only in the directory entry until the directory
+    itself is fsync'd — every atomic writer must pay that fsync, and a
+    kernel refusing it must not be papered over."""
+
+    def test_atomic_writers_fsync_the_containing_directory(self, tmp_path,
+                                                           monkeypatch):
+        import repro.io as io_mod
+        synced = []
+        real = io_mod.fsync_dir
+        monkeypatch.setattr(io_mod, "fsync_dir",
+                            lambda d: (synced.append(d), real(d)))
+        io_mod.atomic_write_text(str(tmp_path / "a.json"), "{}")
+        io_mod.atomic_write_chunks(str(tmp_path / "b.json"), ["{", "}"])
+        assert synced == [str(tmp_path), str(tmp_path)]
+
+    def test_injected_dir_fsync_failure_propagates(self, tmp_path,
+                                                   monkeypatch):
+        """A real fsync failure (EIO) on the directory must surface:
+        returning success would claim durability the kernel refused."""
+        from repro.io import atomic_write_text
+        target = tmp_path / "x.json"
+        atomic_write_text(str(target), "old")
+
+        real_fsync = os.fsync
+
+        def failing_dir_fsync(fd):
+            if os.fstat(fd).st_mode & 0o40000:  # only directory fds fail
+                raise OSError(5, "Input/output error")
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", failing_dir_fsync)
+        with pytest.raises(OSError, match="Input/output"):
+            atomic_write_text(str(target), "new")
+        monkeypatch.undo()
+        # the rename itself happened; only its durability promise failed
+        assert target.read_text() == "new"
+
+    def test_unsupported_dir_fsync_is_skipped(self, tmp_path, monkeypatch):
+        """EINVAL/ENOTSUP (network mounts, platforms without directory
+        fds) degrade gracefully — nothing stronger exists there."""
+        import errno
+        from repro.io import atomic_write_text
+
+        def unsupported_fsync(fd):
+            if os.fstat(fd).st_mode & 0o40000:
+                raise OSError(errno.EINVAL, "Invalid argument")
+
+        monkeypatch.setattr(os, "fsync", unsupported_fsync)
+        atomic_write_text(str(tmp_path / "x.json"), "ok")
+        assert (tmp_path / "x.json").read_text() == "ok"
+
+    def test_unopenable_directory_is_skipped(self, monkeypatch, tmp_path):
+        from repro.io import fsync_dir
+        real_open = os.open
+
+        def no_dir_fds(path, flags, *a, **kw):
+            raise OSError("directory fds unsupported")
+
+        monkeypatch.setattr(os, "open", no_dir_fds)
+        fsync_dir(str(tmp_path))  # must not raise
+        monkeypatch.undo()
+        assert real_open is os.open
